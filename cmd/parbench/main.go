@@ -1,0 +1,132 @@
+// Command parbench regenerates the evaluation's tables and figures
+// (experiments E1–E14; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	parbench -exp all            # run the whole suite
+//	parbench -exp E5,E6          # selected experiments
+//	parbench -exp E2 -quick      # smoke-size problems
+//	parbench -exp E1 -csv out/   # also write CSV per experiment
+//	parbench -list               # show the experiment index
+//
+// Flags -procs, -vprocs, -reps and -seed control the sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E14) or 'all'")
+		quick     = flag.Bool("quick", false, "use smoke-test problem sizes")
+		procsFlag = flag.String("procs", "", "comma-separated worker counts (default 1,2,4,8)")
+		vprocs    = flag.String("vprocs", "", "comma-separated virtual BSP processor counts")
+		reps      = flag.Int("reps", 0, "measured repetitions per point (default 3)")
+		seed      = flag.Uint64("seed", 0, "workload seed (default 42)")
+		csvDir    = flag.String("csv", "", "directory to also write one CSV per experiment")
+		list      = flag.Bool("list", false, "list the experiment index and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("id    ref       title")
+		for _, e := range core.Experiments {
+			fmt.Printf("%-5s %-9s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return
+	}
+
+	cfg := core.Config{Quick: *quick, Reps: *reps, Seed: *seed}
+	var err error
+	if cfg.Procs, err = parseInts(*procsFlag); err != nil {
+		fatalf("bad -procs: %v", err)
+	}
+	if cfg.VProcs, err = parseInts(*vprocs); err != nil {
+		fatalf("bad -vprocs: %v", err)
+	}
+
+	ids := selectIDs(*expFlag)
+	if len(ids) == 0 {
+		fatalf("no experiments selected; try -list")
+	}
+	for _, id := range ids {
+		e, ok := core.ByID(id)
+		if !ok {
+			fatalf("unknown experiment %q; try -list", id)
+		}
+		start := time.Now()
+		t := e.Run(cfg)
+		fmt.Printf("== %s (%s) — %s [%s]\n", e.ID, e.Ref, e.Title, time.Since(start).Round(time.Millisecond))
+		if err := t.Render(os.Stdout); err != nil {
+			fatalf("render: %v", err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, t); err != nil {
+				fatalf("csv: %v", err)
+			}
+		}
+	}
+}
+
+func selectIDs(flagVal string) []string {
+	if flagVal == "all" {
+		ids := make([]string, len(core.Experiments))
+		for i, e := range core.Experiments {
+			ids[i] = e.ID
+		}
+		return ids
+	}
+	var ids []string
+	for _, s := range strings.Split(flagVal, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			ids = append(ids, s)
+		}
+	}
+	return ids
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("count %d < 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeCSV(dir, id string, t *perf.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.RenderCSV(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "parbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 8 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if out, err := parseInts(""); err != nil || out != nil {
+		t.Fatalf("empty: %v, %v", out, err)
+	}
+	if _, err := parseInts("x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("zero accepted")
+	}
+}
+
+func TestSelectIDs(t *testing.T) {
+	all := selectIDs("all")
+	if len(all) != 21 {
+		t.Fatalf("all = %v", all)
+	}
+	some := selectIDs(" E1 ,E5,")
+	if len(some) != 2 || some[0] != "E1" || some[1] != "E5" {
+		t.Fatalf("some = %v", some)
+	}
+	if len(selectIDs(",")) != 0 {
+		t.Fatal("empty selection")
+	}
+}

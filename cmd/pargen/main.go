@@ -1,0 +1,104 @@
+// Command pargen generates the suite's synthetic workloads and writes
+// them to disk in simple portable formats, so experiments can be re-run
+// on identical inputs elsewhere (or inspected directly).
+//
+// Formats:
+//
+//	array: one decimal integer per line
+//	graph: "n m" header then one "u v w" line per undirected edge
+//	list:  "n head" header then one successor index per line
+//
+// Usage:
+//
+//	pargen -kind array -n 1000000 -dist zipf -seed 7 -o keys.txt
+//	pargen -kind graph -model rmat -scale 16 -o g.txt
+//	pargen -kind list -n 65536 -o list.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/genio"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "array", "array|graph|list")
+		n     = flag.Int("n", 1<<20, "size (array/list nodes; graph nodes for er/grid)")
+		dist  = flag.String("dist", "uniform", "array distribution: uniform|sorted|reversed|nearly-sorted|zipf|gaussian|few-unique")
+		model = flag.String("model", "er", "graph model: er|rmat|grid|tree")
+		scale = flag.Int("scale", 14, "rmat scale (2^scale nodes)")
+		deg   = flag.Float64("deg", 8, "er average degree")
+		wtd   = flag.Bool("weighted", false, "weighted graph edges")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		out   = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "array":
+		d, ok := parseDist(*dist)
+		if !ok {
+			fatalf("unknown distribution %q", *dist)
+		}
+		if err := genio.WriteInts(w, gen.Ints(*n, d, *seed)); err != nil {
+			fatalf("%v", err)
+		}
+	case "graph":
+		var g *graph.Graph
+		switch *model {
+		case "er":
+			g = gen.ErdosRenyi(*n, *deg, *wtd, *seed)
+		case "rmat":
+			g = gen.RMAT(*scale, int(*deg), *wtd, *seed)
+		case "grid":
+			side := 1
+			for side*side < *n {
+				side++
+			}
+			g = gen.Grid2D(side, side, *wtd, *seed)
+		case "tree":
+			g = gen.RandomTree(*n, *wtd, *seed)
+		default:
+			fatalf("unknown graph model %q", *model)
+		}
+		if err := genio.WriteGraph(w, g); err != nil {
+			fatalf("%v", err)
+		}
+	case "list":
+		if err := genio.WriteList(w, gen.RandomList(*n, *seed)); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+}
+
+func parseDist(s string) (gen.Distribution, bool) {
+	for _, d := range gen.Distributions {
+		if d.String() == s {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pargen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,246 @@
+// Command parstudy runs a single case-study kernel under explicit
+// engineering-loop controls — kernel, input size, worker count, schedule
+// policy, grain — measures it, validates the output against the
+// sequential oracle, and prints the PRAM-model prediction next to the
+// measurement. It is the interactive face of the methodology: change one
+// knob, re-run, compare.
+//
+// Usage:
+//
+//	parstudy -kernel sort -n 1000000 -procs 4 -policy guided
+//	parstudy -kernel cc -n 65536 -procs 8
+//	parstudy -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/perf"
+	"repro/internal/pgraph"
+	"repro/internal/plist"
+	"repro/internal/pmat"
+	"repro/internal/psort"
+	"repro/internal/pstencil"
+	"repro/internal/seq"
+)
+
+// study is one runnable kernel with validation and an optional model.
+type study struct {
+	name string
+	desc string
+	run  func(n int, opts par.Options, seed uint64) (seconds float64, validation string, err error)
+	wd   func(n int) machine.WorkDepth
+}
+
+func studies() []study {
+	return []study{
+		{
+			name: "scan", desc: "parallel inclusive prefix sums",
+			wd: machine.ScanWD,
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				xs := gen.Ints(n, gen.Uniform, seed)
+				dst := make([]int64, n)
+				secs := timeIt(func() {
+					par.ScanInclusive(dst, xs, opts, 0, func(a, b int64) int64 { return a + b })
+				})
+				want := make([]int64, n)
+				seq.Scan(want, xs)
+				for i := range want {
+					if dst[i] != want[i] {
+						return secs, "", fmt.Errorf("mismatch at %d", i)
+					}
+				}
+				return secs, "matches sequential scan", nil
+			},
+		},
+		{
+			name: "sort", desc: "parallel sample sort",
+			wd: machine.SortWD,
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				xs := gen.Ints(n, gen.Uniform, seed)
+				secs := timeIt(func() { psort.SampleSort(xs, opts) })
+				if !psort.IsSortedParallel(xs, opts) {
+					return secs, "", fmt.Errorf("output not sorted")
+				}
+				return secs, "output sorted", nil
+			},
+		},
+		{
+			name: "listrank", desc: "pointer-jumping list ranking",
+			wd: machine.ListRankWD,
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				l := gen.RandomList(n, seed)
+				var ranks []int
+				secs := timeIt(func() { ranks = plist.Rank(l, opts) })
+				want := seq.ListRank(l)
+				for i := range want {
+					if ranks[i] != want[i] {
+						return secs, "", fmt.Errorf("rank mismatch at %d", i)
+					}
+				}
+				return secs, "matches sequential sweep", nil
+			},
+		},
+		{
+			name: "cc", desc: "connected components (hook-and-shortcut) on an ER graph, avg deg 8",
+			wd: func(n int) machine.WorkDepth { return machine.CCWD(n, 4*n) },
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				g := gen.ErdosRenyi(n, 8, false, seed)
+				var labels []int32
+				secs := timeIt(func() { labels = pgraph.CCHook(g, opts) })
+				if !pgraph.SamePartition(labels, g.ConnectedComponentsRef()) {
+					return secs, "", fmt.Errorf("partition differs from reference")
+				}
+				return secs, fmt.Sprintf("%d components, matches reference", pgraph.CountComponents(labels)), nil
+			},
+		},
+		{
+			name: "mst", desc: "Borůvka minimum spanning forest on a weighted ER graph, avg deg 8",
+			wd: func(n int) machine.WorkDepth { return machine.CCWD(n, 4*n) },
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				g := gen.ErdosRenyi(n, 8, true, seed)
+				var w float64
+				secs := timeIt(func() { w = pgraph.MSTBoruvka(g, opts) })
+				want := seq.MSTKruskal(g)
+				if d := w - want; d > 1e-9*(1+want) || d < -1e-9*(1+want) {
+					return secs, "", fmt.Errorf("weight %v != Kruskal %v", w, want)
+				}
+				return secs, fmt.Sprintf("weight %.6g matches Kruskal", w), nil
+			},
+		},
+		{
+			name: "matmul", desc: "blocked parallel matrix multiply (n is the matrix edge)",
+			wd: machine.MatmulWD,
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				a := gen.RandomMatrix(n, n, seed)
+				b := gen.RandomMatrix(n, n, seed+1)
+				var c *gen.Matrix
+				secs := timeIt(func() { c = pmat.Mul(a, b, pmat.Config{Opts: opts}) })
+				if n <= 512 {
+					if !c.Equal(seq.Matmul(a, b), 1e-9) {
+						return secs, "", fmt.Errorf("product differs from sequential")
+					}
+					return secs, "matches sequential product", nil
+				}
+				return secs, "unvalidated (n > 512)", nil
+			},
+		},
+		{
+			name: "jacobi", desc: "5-point Jacobi stencil, 20 sweeps (n is the grid edge)",
+			wd: func(n int) machine.WorkDepth {
+				return machine.WorkDepth{Work: 20 * 4 * float64(n) * float64(n), Depth: 20}
+			},
+			run: func(n int, opts par.Options, seed uint64) (float64, string, error) {
+				g := gen.HotPlateGrid(n)
+				var out *gen.Grid
+				secs := timeIt(func() { out = pstencil.Jacobi(g, 20, opts) })
+				want := seq.Jacobi(g, 20)
+				for i := range want.Data {
+					d := out.Data[i] - want.Data[i]
+					if d > 1e-12 || d < -1e-12 {
+						return secs, "", fmt.Errorf("grid differs from sequential at cell %d", i)
+					}
+				}
+				return secs, "matches sequential sweeps", nil
+			},
+		},
+	}
+}
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "", "kernel to run (see -list)")
+		n      = flag.Int("n", 1<<20, "problem size")
+		procs  = flag.Int("procs", 0, "workers (default GOMAXPROCS)")
+		policy = flag.String("policy", "static", "schedule: static|cyclic|dynamic|guided")
+		grain  = flag.Int("grain", 0, "grain size (default policy-specific)")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		reps   = flag.Int("reps", 3, "measured repetitions")
+		list   = flag.Bool("list", false, "list kernels and exit")
+	)
+	flag.Parse()
+
+	all := studies()
+	if *list || *kernel == "" {
+		fmt.Println("kernels:")
+		for _, s := range all {
+			fmt.Printf("  %-9s %s\n", s.name, s.desc)
+		}
+		if *kernel == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var chosen *study
+	for i := range all {
+		if all[i].name == *kernel {
+			chosen = &all[i]
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "parstudy: unknown kernel %q (try -list)\n", *kernel)
+		os.Exit(1)
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parstudy:", err)
+		os.Exit(1)
+	}
+	opts := par.Options{Procs: *procs, Policy: pol, Grain: *grain}
+
+	times := make([]float64, 0, *reps)
+	validation := ""
+	for i := 0; i < *reps; i++ {
+		secs, v, err := chosen.run(*n, opts, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parstudy: VALIDATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		times = append(times, secs)
+		validation = v
+	}
+	s := perf.Summarize(times)
+	fmt.Printf("kernel     %s (n=%d, procs=%d, policy=%s, grain=%d, seed=%d)\n",
+		chosen.name, *n, opts.Procs, pol, *grain, *seed)
+	fmt.Printf("time       median %s  (mean %s ± %s over %d reps)\n",
+		perf.FormatDuration(s.Median), perf.FormatDuration(s.Mean), perf.FormatDuration(s.CI95), s.N)
+	fmt.Printf("validate   %s\n", validation)
+	if chosen.wd != nil {
+		wd := chosen.wd(*n)
+		fmt.Printf("model      work %.4g ops, depth %.4g; Brent T_p bounds: T1 %.4g, T8 %.4g, T64 %.4g ops\n",
+			wd.Work, wd.Depth, wd.Brent(1), wd.Brent(8), wd.Brent(64))
+		fmt.Printf("           model speedup at P=8: %.2fx, P=64: %.2fx (vs ideal %d/%d)\n",
+			wd.Speedup(8)/wd.Speedup(1), wd.Speedup(64)/wd.Speedup(1), 8, 64)
+	}
+}
+
+func parsePolicy(s string) (par.Policy, error) {
+	names := map[string]par.Policy{}
+	for _, p := range par.Policies {
+		names[p.String()] = p
+	}
+	if p, ok := names[strings.ToLower(s)]; ok {
+		return p, nil
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return 0, fmt.Errorf("unknown policy %q (want one of %s)", s, strings.Join(keys, "|"))
+}
+
+func timeIt(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}

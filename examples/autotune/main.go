@@ -1,0 +1,63 @@
+// Autotuning walkthrough: the engineering loop's "refine" step as a
+// library consumer runs it. Pick a kernel, let the tuner measure the
+// grain-size and schedule-policy design space, then verify the tuned
+// configuration against the defaults — measure, don't guess.
+//
+// Run with: go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/perf"
+)
+
+func main() {
+	p := runtime.GOMAXPROCS(0)
+	n := 1 << 21
+	xs := gen.Ints(n, gen.Uniform, 42)
+	work := gen.SkewedWork(1<<13, 1<<22, 0.001, 7)
+	fmt.Printf("autotuning on %d worker(s)\n\n", p)
+
+	// 1. Grain size for a cheap-body reduction.
+	grains := core.PowersOfTwo(6, 20)
+	res := core.TuneGrain(grains, 3, func(grain int) {
+		par.Sum(xs, par.Options{Procs: p, Policy: par.Dynamic, Grain: grain})
+	})
+	fmt.Printf("grain sweep over 2^6..2^20 for parallel sum (n=%d):\n", n)
+	worst := 0.0
+	for _, g := range grains {
+		if res.Seconds[g] > worst {
+			worst = res.Seconds[g]
+		}
+	}
+	fmt.Printf("  best grain %d (%s), worst candidate %s (%.2fx slower)\n\n",
+		res.Best, perf.FormatDuration(res.Seconds[res.Best]),
+		perf.FormatDuration(worst), worst/res.Seconds[res.Best])
+
+	// 2. Schedule policy for a skewed loop.
+	best, times := core.TunePolicy(3, func(pol par.Policy) {
+		par.For(len(work), par.Options{Procs: p, Policy: pol, Grain: 16}, func(i int) {
+			acc := uint64(1)
+			for k := 0; k < work[i]; k++ {
+				acc = acc*6364136223846793005 + 1
+			}
+			_ = acc
+		})
+	})
+	fmt.Println("schedule-policy sweep on hub-skewed work:")
+	for _, pol := range par.Policies {
+		marker := " "
+		if pol == best {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-8s %s\n", marker, pol, perf.FormatDuration(times[pol]))
+	}
+	fmt.Printf("\ntuned configuration: grain=%d, policy=%s\n", res.Best, best)
+	fmt.Println("(on a single-core host the spread is small — the loop's value")
+	fmt.Println("shows on multicore, where static scheduling loses 2x+ on skew)")
+}

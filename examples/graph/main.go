@@ -1,0 +1,79 @@
+// Graph analysis walkthrough: build graphs from three generative models,
+// run the parallel connectivity, BFS and MST kernels through the public
+// API, and cross-validate everything against sequential oracles — the
+// library as a downstream graph-analytics user would drive it.
+//
+// Run with: go run ./examples/graph [-scale 14]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/perf"
+	"repro/internal/pgraph"
+	"repro/internal/seq"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "R-MAT scale / log2 of ER size")
+	flag.Parse()
+	p := runtime.GOMAXPROCS(0)
+	opts := repro.Options{Procs: p, Grain: 2048}
+	n := 1 << *scale
+
+	graphs := []struct {
+		name string
+		g    *repro.Graph
+	}{
+		{"erdos-renyi deg=8", repro.RandomGraph(n, 8, false, 1)},
+		{"rmat power-law", repro.PowerLawGraph(*scale, 8, false, 2)},
+		{"mesh", gen.Grid2D(1<<(*scale/2), 1<<(*scale/2), false, 3)},
+	}
+
+	table := perf.NewTable(fmt.Sprintf("graph kernels, P=%d", p),
+		"graph", "n", "m", "maxdeg", "components", "cc-time", "bfs-ecc", "bfs-time")
+	for _, tc := range graphs {
+		start := time.Now()
+		labels := repro.ConnectedComponents(tc.g, opts)
+		ccTime := time.Since(start).Seconds()
+		comps := pgraph.CountComponents(labels)
+
+		start = time.Now()
+		depth := repro.BFS(tc.g, 0, opts)
+		bfsTime := time.Since(start).Seconds()
+
+		table.AddRowf(tc.name, tc.g.N(), tc.g.M(), tc.g.MaxDegree(), comps,
+			perf.FormatDuration(ccTime), int(pgraph.Eccentricity(depth)),
+			perf.FormatDuration(bfsTime))
+
+		// Validation against the DFS reference.
+		if !pgraph.SamePartition(labels, tc.g.ConnectedComponentsRef()) {
+			panic("parallel CC disagrees with reference on " + tc.name)
+		}
+	}
+	fmt.Println(table)
+
+	// MST on a weighted graph, validated against Kruskal.
+	wg := repro.RandomGraph(n/2, 16, true, 4)
+	start := time.Now()
+	w := repro.MSTWeight(wg, opts)
+	boruvka := time.Since(start).Seconds()
+	start = time.Now()
+	wk := seq.MSTKruskal(wg)
+	kruskal := time.Since(start).Seconds()
+	if math.Abs(w-wk) > 1e-9*(1+wk) {
+		panic("Boruvka and Kruskal disagree")
+	}
+	fmt.Printf("MST on %v: weight %.4f\n", wg, w)
+	fmt.Printf("  par-boruvka %s   seq-kruskal %s\n",
+		perf.FormatDuration(boruvka), perf.FormatDuration(kruskal))
+	fmt.Println("\nnote the mesh's BFS eccentricity (~2·side) versus the power-law")
+	fmt.Println("graph's (~log n): diameter drives the round count of frontier and")
+	fmt.Println("label-propagation algorithms, which is why CC uses hooking instead.")
+}

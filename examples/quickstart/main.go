@@ -1,0 +1,52 @@
+// Quickstart: the five-minute tour of the library's public API —
+// parallel primitives, a case-study kernel, and the experiment harness.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro"
+)
+
+func main() {
+	p := runtime.GOMAXPROCS(0)
+	fmt.Printf("quickstart on %d worker(s)\n\n", p)
+
+	// 1. Parallel primitives: generate data, sum and scan it.
+	xs := repro.RandomInts(1_000_000, 42)
+	opts := repro.Options{Procs: p, Policy: repro.Guided}
+	total := repro.Sum(xs, opts)
+	prefix := make([]int64, len(xs))
+	repro.ScanInclusive(prefix, xs, opts)
+	fmt.Printf("sum of %d random keys: %d (last prefix %d — must match)\n",
+		len(xs), total, prefix[len(prefix)-1])
+	if total != prefix[len(prefix)-1] {
+		fmt.Println("BUG: scan and reduce disagree")
+		os.Exit(1)
+	}
+
+	// 2. A case-study kernel: parallel sample sort.
+	repro.Sort(xs, opts)
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			fmt.Println("BUG: output not sorted")
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("sorted %d keys with sample sort: min=%d max=%d\n\n",
+		len(xs), xs[0], xs[len(xs)-1])
+
+	// 3. The experiment harness: regenerate one figure of the evaluation
+	// at smoke size.
+	fmt.Println("regenerating Figure 5 (grain-size autotuning) at quick size:")
+	cfg := repro.ExperimentConfig{Quick: true, Reps: 1}
+	if !repro.RunExperiment("E11", cfg, os.Stdout) {
+		fmt.Println("BUG: experiment E11 missing")
+		os.Exit(1)
+	}
+	fmt.Println("\nAll experiment ids:", repro.ExperimentIDs())
+}

@@ -1,0 +1,82 @@
+// Sorting case study as a library consumer would run it: compare the
+// three parallel sorters and the engineered sequential baseline across
+// input distributions, then drill into the distribution where they
+// differ most. This mirrors the paper's "engineering loop": measure,
+// localize, explain.
+//
+// Run with: go run ./examples/sorting [-n 1000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/perf"
+	"repro/internal/psort"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "keys to sort")
+	flag.Parse()
+	p := runtime.GOMAXPROCS(0)
+	opts := repro.Options{Procs: p}
+
+	type result struct {
+		alg, dist string
+		secs      float64
+	}
+	var results []result
+
+	distributions := []gen.Distribution{gen.Uniform, gen.Sorted, gen.Zipf, gen.FewUnique}
+	table := perf.NewTable(
+		fmt.Sprintf("sorting %d keys, P=%d (median of 3)", *n, p),
+		"algorithm", "distribution", "time", "Mkeys/s")
+	algorithms := []struct {
+		name string
+		sort func([]int64, par.Options)
+	}{
+		{"samplesort", psort.SampleSort},
+		{"mergesort", psort.MergeSort},
+		{"radix", psort.RadixSort},
+		{"seq-baseline", func(xs []int64, _ par.Options) { repro.SequentialSort(xs) }},
+	}
+	for _, a := range algorithms {
+		for _, d := range distributions {
+			master := gen.Ints(*n, d, 7)
+			buf := make([]int64, *n)
+			var times []float64
+			for rep := 0; rep < 3; rep++ {
+				copy(buf, master)
+				start := time.Now()
+				a.sort(buf, opts)
+				times = append(times, time.Since(start).Seconds())
+				if !psort.IsSortedParallel(buf, opts) {
+					panic(a.name + " failed to sort")
+				}
+			}
+			med := perf.Summarize(times).Median
+			results = append(results, result{a.name, d.String(), med})
+			table.AddRowf(a.name, d.String(), perf.FormatDuration(med), perf.Throughput(*n, med)/1e6)
+		}
+	}
+	fmt.Println(table)
+
+	// Engineering-loop drill-down: which algorithm wins per distribution?
+	fmt.Println("winners by distribution:")
+	for _, d := range distributions {
+		best := result{secs: -1}
+		for _, r := range results {
+			if r.dist == d.String() && (best.secs < 0 || r.secs < best.secs) {
+				best = r
+			}
+		}
+		fmt.Printf("  %-13s %s (%s)\n", d.String(), best.alg, perf.FormatDuration(best.secs))
+	}
+	fmt.Println("\nnote: radix is distribution-insensitive (no comparisons);")
+	fmt.Println("comparison sorts gain on sorted/few-unique inputs from branch predictability.")
+}

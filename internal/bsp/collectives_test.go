@@ -1,0 +1,134 @@
+package bsp
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/seq"
+)
+
+func TestGatherCollective(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 16} {
+		got, stats := Gather(func(rank int) int64 { return int64(rank * rank) }, p)
+		for i := 0; i < p; i++ {
+			if got[i] != int64(i*i) {
+				t.Fatalf("p=%d: gather[%d] = %d", p, i, got[i])
+			}
+		}
+		if stats.Supersteps() != 1 {
+			t.Fatalf("gather supersteps = %d", stats.Supersteps())
+		}
+		if h := stats.Trace[0].H; h != float64(p) {
+			t.Fatalf("gather h = %v, want %d (root receives P)", h, p)
+		}
+	}
+}
+
+func TestAllToAllCollective(t *testing.T) {
+	const p = 5
+	got, stats := AllToAll(func(from, to int) int64 { return int64(from*100 + to) }, p)
+	for to := 0; to < p; to++ {
+		for from := 0; from < p; from++ {
+			if got[to][from] != int64(from*100+to) {
+				t.Fatalf("alltoall[%d][%d] = %d", to, from, got[to][from])
+			}
+		}
+	}
+	if h := stats.Trace[0].H; h != p {
+		t.Fatalf("alltoall h = %v, want %d", h, p)
+	}
+}
+
+func TestBSPListRankMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, n := range []int{1, 2, 10, 100, 1000} {
+			l := gen.RandomList(n, uint64(n)+uint64(p))
+			got, stats := ListRank(l.Next, l.Head, p)
+			want := seq.ListRank(l)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("p=%d n=%d: rank[%d] = %d, want %d", p, n, i, got[i], want[i])
+				}
+			}
+			if stats.Supersteps() == 0 {
+				t.Fatal("no supersteps recorded")
+			}
+		}
+	}
+}
+
+func TestBSPListRankEmpty(t *testing.T) {
+	ranks, _ := ListRank(nil, 0, 4)
+	if ranks != nil {
+		t.Fatalf("empty list ranks = %v", ranks)
+	}
+}
+
+func TestBSPListRankCommunicationGrowsWithP(t *testing.T) {
+	// With one processor there is no remote successor traffic; with many
+	// processors nearly every jump is remote — the h totals must reflect
+	// that (the kernel's defining cost behavior).
+	l := gen.RandomList(4096, 9)
+	_, s1 := ListRank(l.Next, l.Head, 1)
+	_, s8 := ListRank(l.Next, l.Head, 8)
+	if s1.TotalH() != 0 {
+		t.Fatalf("P=1 list rank communicated h=%v", s1.TotalH())
+	}
+	if s8.TotalH() == 0 {
+		t.Fatal("P=8 list rank shows no communication")
+	}
+}
+
+func TestMatmulRowBlockMatchesSequential(t *testing.T) {
+	for _, n := range []int{4, 16, 33} {
+		for _, p := range []int{1, 2, 4} {
+			a := gen.RandomMatrix(n, n, uint64(n))
+			b := gen.RandomMatrix(n, n, uint64(n)+1)
+			got, stats := MatmulRowBlock(a.Data, b.Data, n, p)
+			want := seq.Matmul(a, b)
+			for i := range want.Data {
+				d := got[i] - want.Data[i]
+				if d > 1e-9 || d < -1e-9 {
+					t.Fatalf("n=%d p=%d: mismatch at %d", n, p, i)
+				}
+			}
+			if stats.Supersteps() != p+1 {
+				t.Fatalf("n=%d p=%d: supersteps = %d, want %d", n, p, stats.Supersteps(), p+1)
+			}
+		}
+	}
+}
+
+func TestMatmulRowBlockHRelation(t *testing.T) {
+	// Each panel broadcast sends (n/P)·n words to P-1 receivers: the
+	// sender's outgoing volume (P-1)·n²/P dominates the h-relation.
+	const n, p = 32, 4
+	a := gen.RandomMatrix(n, n, 1)
+	b := gen.RandomMatrix(n, n, 2)
+	_, stats := MatmulRowBlock(a.Data, b.Data, n, p)
+	wantPerStep := float64((p - 1) * (n / p) * n)
+	for s, st := range stats.Trace[:p] {
+		if st.H != wantPerStep {
+			t.Fatalf("superstep %d: h = %v, want %v", s, st.H, wantPerStep)
+		}
+	}
+	if last := stats.Trace[p]; last.H != 0 {
+		t.Fatalf("final barrier superstep has h = %v", last.H)
+	}
+	// Total compute across supersteps ≈ n³/P per processor.
+	if w := stats.TotalW(); w != float64(n*n*n/p) {
+		t.Fatalf("total W = %v, want %v", w, n*n*n/p)
+	}
+}
+
+func TestSendWordsAccounting(t *testing.T) {
+	stats := Run(2, func(c *Proc[int]) {
+		if c.ID() == 0 {
+			c.SendWords(1, 7, 100)
+		}
+		c.Sync()
+	})
+	if h := stats.Trace[0].H; h != 100 {
+		t.Fatalf("weighted send h = %v, want 100", h)
+	}
+}

@@ -1,0 +1,234 @@
+package bsp
+
+import (
+	"sort"
+)
+
+// Kernels implemented directly in the BSP model. Input arrays live in the
+// host's shared memory (virtual processors may read their own block
+// without communication, mirroring a block distribution); all
+// inter-processor data flow goes through Send/Sync so the h-relations —
+// the quantity the model charges for — are faithfully those of a
+// distributed-memory execution.
+
+// tagged carries a value with its sender rank.
+type tagged struct {
+	from int
+	val  int64
+}
+
+// Scan computes the inclusive prefix sums of xs on p virtual processors
+// using the classic two-superstep block algorithm:
+//
+//	superstep 1: local reduce; exchange partials (h = P);
+//	superstep 2: offset = sum of lower-ranked partials; local rescan.
+//
+// It returns the result and the cost trace.
+func Scan(xs []int64, p int) ([]int64, *Stats) {
+	n := len(xs)
+	dst := make([]int64, n)
+	stats := Run(p, func(c *Proc[tagged]) {
+		id, np := c.ID(), c.NProcs()
+		lo := id * n / np
+		hi := (id + 1) * n / np
+		// Superstep 1: local reduction, broadcast partial.
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+		}
+		c.Charge(hi - lo)
+		for to := 0; to < np; to++ {
+			c.Send(to, tagged{from: id, val: local})
+		}
+		inbox := c.Sync()
+		// Superstep 2: offset from lower ranks, rescan block.
+		var offset int64
+		for _, m := range inbox {
+			if m.from < id {
+				offset += m.val
+			}
+		}
+		c.Charge(np)
+		acc := offset
+		for i := lo; i < hi; i++ {
+			acc += xs[i]
+			dst[i] = acc
+		}
+		c.Charge(hi - lo)
+		c.Sync()
+	})
+	return dst, stats
+}
+
+// SumAllReduce computes the global sum of xs with a reduce-to-root then
+// broadcast (two supersteps, h = P each), returning the sum as seen by
+// every processor (validated internally) and the trace.
+func SumAllReduce(xs []int64, p int) (int64, *Stats) {
+	n := len(xs)
+	results := make([]int64, p)
+	stats := Run(p, func(c *Proc[tagged]) {
+		id, np := c.ID(), c.NProcs()
+		lo := id * n / np
+		hi := (id + 1) * n / np
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+		}
+		c.Charge(hi - lo)
+		c.Send(0, tagged{from: id, val: local})
+		inbox := c.Sync()
+		if id == 0 {
+			var total int64
+			for _, m := range inbox {
+				total += m.val
+			}
+			c.Charge(np)
+			for to := 0; to < np; to++ {
+				c.Send(to, tagged{val: total})
+			}
+		}
+		inbox = c.Sync()
+		results[id] = inbox[0].val
+		c.Sync()
+	})
+	return results[0], stats
+}
+
+// BroadcastDirect sends val from rank 0 to all others in one superstep
+// with h = P (the root sends P-1 words).
+func BroadcastDirect(val int64, p int) ([]int64, *Stats) {
+	out := make([]int64, p)
+	stats := Run(p, func(c *Proc[tagged]) {
+		id, np := c.ID(), c.NProcs()
+		if id == 0 {
+			for to := 1; to < np; to++ {
+				c.Send(to, tagged{val: val})
+			}
+			out[0] = val
+		}
+		inbox := c.Sync()
+		if id != 0 {
+			out[id] = inbox[0].val
+		}
+	})
+	return out, stats
+}
+
+// BroadcastTree sends val from rank 0 to all others along a binomial
+// tree: ceil(log2 P) supersteps with h = 1 each. Experiment E13 contrasts
+// its cost with BroadcastDirect under varying (g, l): the tree wins when
+// g·P dominates, the direct form when l dominates.
+func BroadcastTree(val int64, p int) ([]int64, *Stats) {
+	out := make([]int64, p)
+	stats := Run(p, func(c *Proc[tagged]) {
+		id, np := c.ID(), c.NProcs()
+		have := id == 0
+		if have {
+			out[0] = val
+		}
+		for round := 1; round < np; round *= 2 {
+			if have && id+round < np {
+				c.Send(id+round, tagged{val: val})
+			}
+			inbox := c.Sync()
+			if !have && len(inbox) > 0 {
+				out[id] = inbox[0].val
+				have = true
+			}
+		}
+	})
+	return out, stats
+}
+
+// SampleSort sorts xs on p virtual processors with the textbook BSP
+// sample sort:
+//
+//	superstep 1: local sort; send p-1 regular samples to rank 0;
+//	superstep 2: rank 0 sorts samples, broadcasts p-1 splitters;
+//	superstep 3: all-to-all bucket exchange by splitter;
+//	superstep 4: local merge of received buckets.
+//
+// It returns the per-processor sorted buckets (concatenation in rank
+// order is the sorted array) and the trace.
+func SampleSort(xs []int64, p int) ([][]int64, *Stats) {
+	n := len(xs)
+	out := make([][]int64, p)
+	stats := Run(p, func(c *Proc[tagged]) {
+		id, np := c.ID(), c.NProcs()
+		lo := id * n / np
+		hi := (id + 1) * n / np
+		local := append([]int64(nil), xs[lo:hi]...)
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		c.Charge(costNLogN(len(local)))
+
+		// Superstep 1: regular sampling.
+		for s := 1; s < np; s++ {
+			idx := s * len(local) / np
+			var v int64
+			if len(local) > 0 {
+				if idx >= len(local) {
+					idx = len(local) - 1
+				}
+				v = local[idx]
+			}
+			c.Send(0, tagged{from: id, val: v})
+		}
+		inbox := c.Sync()
+
+		// Superstep 2: rank 0 selects and broadcasts splitters.
+		if id == 0 {
+			samples := make([]int64, 0, len(inbox))
+			for _, m := range inbox {
+				samples = append(samples, m.val)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			c.Charge(costNLogN(len(samples)))
+			for s := 1; s < np; s++ {
+				idx := s * len(samples) / np
+				if idx >= len(samples) {
+					idx = len(samples) - 1
+				}
+				for to := 0; to < np; to++ {
+					c.Send(to, tagged{from: s - 1, val: samples[idx]})
+				}
+			}
+		}
+		inbox = c.Sync()
+		splitters := make([]int64, np-1)
+		for _, m := range inbox {
+			splitters[m.from] = m.val
+		}
+
+		// Superstep 3: all-to-all bucket exchange.
+		for _, v := range local {
+			dest := sort.Search(len(splitters), func(i int) bool { return v < splitters[i] })
+			c.Send(dest, tagged{val: v})
+		}
+		c.Charge(len(local))
+		inbox = c.Sync()
+
+		// Superstep 4: local sort of the received bucket.
+		bucket := make([]int64, 0, len(inbox))
+		for _, m := range inbox {
+			bucket = append(bucket, m.val)
+		}
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		c.Charge(costNLogN(len(bucket)))
+		out[id] = bucket
+		c.Sync()
+	})
+	return out, stats
+}
+
+// costNLogN returns an integer n·log2(n) operation estimate for charging
+// comparison sorts.
+func costNLogN(n int) int {
+	if n < 2 {
+		return n
+	}
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return n * lg
+}

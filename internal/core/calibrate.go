@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bsp"
+	"repro/internal/machine"
+)
+
+// Calibration holds fitted machine parameters mapping the BSP runtime's
+// abstract cost units to wall-clock seconds on the host:
+//
+//	time ≈ A·W + B·H + C·S
+//
+// where W is summed per-superstep max work (operations), H summed max
+// h-relation (words), and S the superstep count. A is seconds/op, B
+// seconds/word, C seconds/barrier — i.e. C/A is the BSP parameter l and
+// B/A is g.
+type Calibration struct {
+	SecPerOp      float64 // A
+	SecPerWord    float64 // B
+	SecPerBarrier float64 // C
+}
+
+// BSPParams converts the calibration into canonical BSP parameters
+// (g and l expressed in operation units) for a machine of p processors.
+func (c Calibration) BSPParams(p int) machine.BSPParams {
+	if c.SecPerOp <= 0 {
+		return machine.BSPParams{P: p}
+	}
+	return machine.BSPParams{P: p, G: c.SecPerWord / c.SecPerOp, L: c.SecPerBarrier / c.SecPerOp}
+}
+
+// Predict returns the predicted wall-clock seconds for a cost trace.
+func (c Calibration) Predict(s *bsp.Stats) float64 {
+	return c.SecPerOp*s.TotalW() + c.SecPerWord*s.TotalH() + c.SecPerBarrier*float64(s.Supersteps())
+}
+
+// Observation pairs a cost trace with its measured wall-clock seconds.
+type Observation struct {
+	Stats   *bsp.Stats
+	Seconds float64
+}
+
+// ErrCalibration reports an unfittable observation set.
+var ErrCalibration = errors.New("core: calibration requires >= 3 observations with varying W, H and S")
+
+// Fit solves the 3-parameter least squares for (A, B, C) over the
+// observations via the normal equations. Coefficients are clamped to be
+// non-negative (a negative unit cost is measurement noise).
+func Fit(obs []Observation) (Calibration, error) {
+	if len(obs) < 3 {
+		return Calibration{}, ErrCalibration
+	}
+	// Normal equations: M x = v with rows over (W, H, S) features.
+	var m [3][3]float64
+	var v [3]float64
+	for _, o := range obs {
+		f := [3]float64{o.Stats.TotalW(), o.Stats.TotalH(), float64(o.Stats.Supersteps())}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += f[i] * f[j]
+			}
+			v[i] += f[i] * o.Seconds
+		}
+	}
+	x, ok := solve3(m, v)
+	if !ok {
+		return Calibration{}, ErrCalibration
+	}
+	cal := Calibration{
+		SecPerOp:      math.Max(0, x[0]),
+		SecPerWord:    math.Max(0, x[1]),
+		SecPerBarrier: math.Max(0, x[2]),
+	}
+	return cal, nil
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting; ok is false when the system is singular.
+func solve3(m [3][3]float64, v [3]float64) ([3]float64, bool) {
+	// Augment.
+	var a [3][4]float64
+	for i := 0; i < 3; i++ {
+		copy(a[i][:3], m[i][:])
+		a[i][3] = v[i]
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return [3]float64{}, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate below.
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	var x [3]float64
+	for i := 2; i >= 0; i-- {
+		s := a[i][3]
+		for j := i + 1; j < 3; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, true
+}
+
+// RelativeError returns |predicted-measured| / measured (NaN when
+// measured is 0), the accuracy metric of experiments E9 and E13.
+func RelativeError(predicted, measured float64) float64 {
+	if measured == 0 {
+		return math.NaN()
+	}
+	return math.Abs(predicted-measured) / measured
+}

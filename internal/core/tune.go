@@ -1,0 +1,76 @@
+// Package core is the engineering-loop library: it ties the substrates
+// together into the methodology's workflow — tune (grain size, schedule
+// policy), calibrate (fit machine-model parameters from measurements),
+// predict (evaluate model costs), and experiment (regenerate every table
+// and figure of the reconstructed evaluation, E1–E14).
+package core
+
+import (
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/perf"
+)
+
+// TuneResult is the outcome of a parameter autotuning sweep.
+type TuneResult struct {
+	// Best is the winning parameter value.
+	Best int
+	// Seconds maps each candidate to its median measured time.
+	Seconds map[int]float64
+}
+
+// TuneGrain measures run over the candidate grain sizes and returns the
+// fastest. run must execute the kernel with the given grain; candidates
+// must be non-empty. This is the methodology's standard response to the
+// grain-size question: measure, don't guess (experiment E11).
+func TuneGrain(candidates []int, reps int, run func(grain int)) TuneResult {
+	return tuneInt(candidates, reps, run)
+}
+
+// TunePolicy measures run over scheduling policies and returns the
+// fastest policy (experiment E10's inner loop).
+func TunePolicy(reps int, run func(policy par.Policy)) (par.Policy, map[par.Policy]float64) {
+	times := make(map[par.Policy]float64, len(par.Policies))
+	best := par.Policies[0]
+	for _, pol := range par.Policies {
+		r := perf.Runner{Warmup: 1, Reps: reps}
+		s := r.Time(func(int) { run(pol) })
+		times[pol] = s.Median
+		if s.Median < times[best] {
+			best = pol
+		}
+	}
+	return best, times
+}
+
+func tuneInt(candidates []int, reps int, run func(v int)) TuneResult {
+	res := TuneResult{Seconds: make(map[int]float64, len(candidates))}
+	bestT := -1.0
+	for _, c := range candidates {
+		r := perf.Runner{Warmup: 1, Reps: reps}
+		s := r.Time(func(int) { run(c) })
+		res.Seconds[c] = s.Median
+		if bestT < 0 || s.Median < bestT {
+			bestT = s.Median
+			res.Best = c
+		}
+	}
+	return res
+}
+
+// PowersOfTwo returns {2^lo, ..., 2^hi} for tuning sweeps.
+func PowersOfTwo(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// Stopwatch measures one execution of fn in seconds.
+func Stopwatch(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}

@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ErdosRenyi generates a G(n, m)-style random graph with approximately
+// avgDeg*n/2 undirected edges, sampled uniformly without self-loops.
+// Parallel duplicate edges may occur with small probability, matching the
+// multigraph convention used by classic parallel CC/MST experiments.
+func ErdosRenyi(n int, avgDeg float64, weighted bool, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	m := int(avgDeg * float64(n) / 2)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		w := 1.0
+		if weighted {
+			w = r.Float64() + 1e-9
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	}
+	return graph.MustBuild(n, edges, weighted)
+}
+
+// RMAT generates a Recursive-MATrix power-law graph (Chakrabarti, Zhan,
+// Faloutsos 2004) with 2^scale nodes and edgeFactor*2^scale undirected
+// edges, using the Graph500 default probabilities (a,b,c,d) =
+// (0.57, 0.19, 0.19, 0.05). R-MAT graphs exhibit heavy-tailed degree
+// distributions, the primary source of load imbalance in the scheduling
+// ablation experiments.
+func RMAT(scale int, edgeFactor int, weighted bool, seed uint64) *graph.Graph {
+	const a, b, c = 0.57, 0.19, 0.19
+	r := rng.New(seed)
+	n := 1 << scale
+	m := edgeFactor * n
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left quadrant: no bits set
+			case p < a+b:
+				v |= bit
+			case p < a+b+c:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		w := 1.0
+		if weighted {
+			w = r.Float64() + 1e-9
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	}
+	return graph.MustBuild(n, edges, weighted)
+}
+
+// Grid2D generates a rows x cols 4-neighbor mesh. Meshes are the classic
+// "easy" structured input contrasting with scale-free graphs; they have
+// constant degree and enormous diameter (adversarial for label-propagation
+// style CC, friendly for load balancing).
+func Grid2D(rows, cols int, weighted bool, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	n := rows * cols
+	edges := make([]graph.Edge, 0, 2*n)
+	id := func(i, j int) int { return i*cols + j }
+	w := func() float64 {
+		if !weighted {
+			return 1
+		}
+		return r.Float64() + 1e-9
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				edges = append(edges, graph.Edge{U: id(i, j), V: id(i, j+1), W: w()})
+			}
+			if i+1 < rows {
+				edges = append(edges, graph.Edge{U: id(i, j), V: id(i+1, j), W: w()})
+			}
+		}
+	}
+	return graph.MustBuild(n, edges, weighted)
+}
+
+// RandomTree generates a uniformly random labelled tree on n nodes via a
+// random attachment process (each node i>0 attaches to a uniform earlier
+// node). Trees are the extreme sparse connected input: exactly one
+// component, n-1 edges, used to stress MST and CC correctness.
+func RandomTree(n int, weighted bool, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		u := r.Intn(v)
+		w := 1.0
+		if weighted {
+			w = r.Float64() + 1e-9
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	}
+	return graph.MustBuild(n, edges, weighted)
+}
+
+// Components generates a graph made of k disjoint Erdős–Rényi clusters,
+// used to validate component counting: the result has exactly k components
+// provided each cluster is internally connected (avgDeg well above ln n).
+func Components(k, clusterSize int, avgDeg float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	n := k * clusterSize
+	var edges []graph.Edge
+	for c := 0; c < k; c++ {
+		base := c * clusterSize
+		// Spanning path guarantees connectivity of the cluster.
+		for v := 1; v < clusterSize; v++ {
+			edges = append(edges, graph.Edge{U: base + v - 1, V: base + v, W: 1})
+		}
+		extra := int(avgDeg*float64(clusterSize)/2) - (clusterSize - 1)
+		for e := 0; e < extra; e++ {
+			u, v := r.Intn(clusterSize), r.Intn(clusterSize)
+			if u == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: base + u, V: base + v, W: 1})
+		}
+	}
+	return graph.MustBuild(n, edges, false)
+}

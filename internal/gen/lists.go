@@ -1,0 +1,68 @@
+package gen
+
+import "repro/internal/rng"
+
+// List is a linked list embedded in arrays, the standard representation
+// for the list-ranking case study: Next[i] is the successor of node i, and
+// the tail points to itself (a common PRAM convention that simplifies
+// pointer jumping). Head is the first node of the list.
+type List struct {
+	Next []int
+	Head int
+}
+
+// Len returns the number of nodes in the list.
+func (l *List) Len() int { return len(l.Next) }
+
+// Tail returns the index of the tail node (the unique i with Next[i] == i).
+func (l *List) Tail() int {
+	for i, n := range l.Next {
+		if n == i {
+			return i
+		}
+	}
+	return -1
+}
+
+// RandomList builds a linked list of n nodes whose nodes are laid out in
+// random memory order. Random layout is the interesting case for list
+// ranking: it defeats prefetching and makes the sequential sweep memory
+// bound, which is exactly the regime where parallel pointer jumping was
+// proposed.
+func RandomList(n int, seed uint64) *List {
+	r := rng.New(seed)
+	perm := r.Perm(n) // perm[k] = node id at list position k
+	next := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		next[perm[k]] = perm[k+1]
+	}
+	next[perm[n-1]] = perm[n-1] // tail self-loop
+	return &List{Next: next, Head: perm[0]}
+}
+
+// OrderedList builds the trivial list 0 -> 1 -> ... -> n-1, the best case
+// for the sequential sweep (perfect spatial locality).
+func OrderedList(n int) *List {
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = n - 1
+	return &List{Next: next, Head: 0}
+}
+
+// RanksRef computes the reference ranks (distance from head, head = 0) by
+// a straightforward traversal; used to validate parallel list ranking.
+func (l *List) RanksRef() []int {
+	ranks := make([]int, len(l.Next))
+	v, d := l.Head, 0
+	for {
+		ranks[v] = d
+		if l.Next[v] == v {
+			break
+		}
+		v = l.Next[v]
+		d++
+	}
+	return ranks
+}

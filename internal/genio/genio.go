@@ -1,0 +1,155 @@
+// Package genio reads and writes the suite's workloads in simple
+// line-oriented text formats, so experiments can be re-run on byte-
+// identical inputs on other machines or inspected with standard tools.
+//
+// Formats (all whitespace-separated decimal):
+//
+//	array: one integer per line
+//	graph: "n m" header, then one "u v w" line per undirected edge
+//	list:  "n head" header, then one successor index per line
+package genio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// ErrFormat reports malformed input.
+var ErrFormat = errors.New("genio: malformed input")
+
+// WriteInts writes one integer per line.
+func WriteInts(w io.Writer, xs []int64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, v := range xs {
+		if _, err := fmt.Fprintln(bw, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInts reads integers until EOF.
+func ReadInts(r io.Reader) ([]int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out []int64
+	for {
+		var v int64
+		_, err := fmt.Fscan(br, &v)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: value %d: %v", ErrFormat, len(out), err)
+		}
+		out = append(out, v)
+	}
+}
+
+// WriteGraph writes the graph format. Weights are written as given
+// (1 for unweighted graphs).
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintln(bw, g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEdges(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintln(bw, u, v, wt)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadGraph reads the graph format. weighted selects whether the parsed
+// weights are stored or discarded.
+func ReadGraph(r io.Reader, weighted bool) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("%w: negative header (n=%d m=%d)", ErrFormat, n, m)
+	}
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		var wt float64
+		if _, err := fmt.Fscan(br, &u, &v, &wt); err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrFormat, i, err)
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: wt})
+	}
+	g, err := graph.Build(n, edges, weighted)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return g, nil
+}
+
+// WriteList writes the list format.
+func WriteList(w io.Writer, l *gen.List) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintln(bw, l.Len(), l.Head); err != nil {
+		return err
+	}
+	for _, nx := range l.Next {
+		if _, err := fmt.Fprintln(bw, nx); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadList reads the list format and validates that it is a single
+// well-formed list: exactly one self-looping tail, head in range, all
+// successors in range, and all nodes reachable from the head.
+func ReadList(r io.Reader) (*gen.List, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var n, head int
+	if _, err := fmt.Fscan(br, &n, &head); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if n < 0 || (n > 0 && (head < 0 || head >= n)) {
+		return nil, fmt.Errorf("%w: bad header (n=%d head=%d)", ErrFormat, n, head)
+	}
+	next := make([]int, n)
+	for i := range next {
+		if _, err := fmt.Fscan(br, &next[i]); err != nil {
+			return nil, fmt.Errorf("%w: node %d: %v", ErrFormat, i, err)
+		}
+		if next[i] < 0 || next[i] >= n {
+			return nil, fmt.Errorf("%w: successor %d out of range at node %d", ErrFormat, next[i], i)
+		}
+	}
+	l := &gen.List{Next: next, Head: head}
+	if n > 0 {
+		// Validate single-list structure by walking from head.
+		seen := 0
+		v := head
+		for {
+			seen++
+			if seen > n {
+				return nil, fmt.Errorf("%w: cycle detected", ErrFormat)
+			}
+			if next[v] == v {
+				break
+			}
+			v = next[v]
+		}
+		if seen != n {
+			return nil, fmt.Errorf("%w: only %d of %d nodes reachable from head", ErrFormat, seen, n)
+		}
+	}
+	return l, nil
+}

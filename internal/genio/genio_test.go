@@ -1,0 +1,160 @@
+package genio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIntsRoundTrip(t *testing.T) {
+	want := gen.Ints(1000, gen.Gaussian, 3) // includes negatives
+	var buf bytes.Buffer
+	if err := WriteInts(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestIntsEmptyAndGarbage(t *testing.T) {
+	got, err := ReadInts(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v, %v", got, err)
+	}
+	if _, err := ReadInts(strings.NewReader("12 potato")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	want := gen.ErdosRenyi(300, 6, true, 7)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("shape: got %v want %v", got, want)
+	}
+	// Same total weight and same degree sequence.
+	var ws, wg float64
+	want.ForEdges(func(_, _ int, w float64) { ws += w })
+	got.ForEdges(func(_, _ int, w float64) { wg += w })
+	if diff := ws - wg; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("weights: %v vs %v", ws, wg)
+	}
+	for v := 0; v < want.N(); v++ {
+		if got.Degree(v) != want.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+	// Partitions agree.
+	a := got.ConnectedComponentsRef()
+	b := want.ConnectedComponentsRef()
+	for i := range a {
+		if (a[i] == a[0]) != (b[i] == b[0]) {
+			t.Fatal("component structure differs")
+		}
+	}
+}
+
+func TestGraphUnweightedRead(t *testing.T) {
+	g := gen.Grid2D(5, 5, false, 1)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weighted() {
+		t.Fatal("unweighted read produced weights")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"neg header":    "-1 2",
+		"truncated":     "3 2\n0 1 1.0\n",
+		"out of range":  "2 1\n0 9 1.0\n",
+		"garbage edge":  "2 1\nzero one 1.0\n",
+		"garbage count": "two 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in), false); !errors.Is(err, ErrFormat) {
+			t.Fatalf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	want := gen.RandomList(500, 9)
+	var buf bytes.Buffer
+	if err := WriteList(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Head != want.Head || got.Len() != want.Len() {
+		t.Fatal("header mismatch")
+	}
+	for i := range want.Next {
+		if got.Next[i] != want.Next[i] {
+			t.Fatalf("next mismatch at %d", i)
+		}
+	}
+}
+
+func TestListValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad head":       "3 9\n1\n2\n2\n",
+		"succ range":     "2 0\n5\n1\n",
+		"cycle":          "3 0\n1\n2\n0\n",
+		"unreachable":    "3 0\n0\n2\n2\n", // head is its own tail; nodes 1,2 unreachable
+		"truncated":      "3 0\n1\n",
+		"garbage header": "x y\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadList(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+	// n=0 is fine.
+	l, err := ReadList(strings.NewReader("0 0\n"))
+	if err != nil || l.Len() != 0 {
+		t.Fatalf("empty list: %v %v", l, err)
+	}
+}
+
+func TestWriteGraphMatchesManualFormat(t *testing.T) {
+	g := graph.MustBuild(3, []graph.Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}, true)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "3 2\n0 1 2\n1 2 3\n"
+	if buf.String() != want {
+		t.Fatalf("format = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,221 @@
+// Package graph provides a compact adjacency (CSR) graph representation
+// shared by the graph case studies and workload generators.
+//
+// Graphs are simple, undirected, and optionally weighted. Nodes are dense
+// integer identifiers 0..N-1. The CSR layout (offset array + neighbor
+// array) is the standard HPC representation: it is cache-friendly for the
+// sweep-style access patterns of parallel graph kernels and admits
+// trivially balanced edge partitioning.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge with an optional weight.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is an undirected graph in CSR form. The zero value is an empty
+// graph. Construct with Build or via Builder.
+type Graph struct {
+	offsets []int     // len n+1; neighbors of v are adj[offsets[v]:offsets[v+1]]
+	adj     []int32   // neighbor ids
+	weights []float64 // parallel to adj; nil for unweighted graphs
+	n       int
+	m       int // number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Weighted reports whether the graph stores edge weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Degree returns the degree of node v (self-loops counted once).
+func (g *Graph) Degree(v int) int { return g.offsets[v+1] - g.offsets[v] }
+
+// Neighbors returns the neighbor slice of v. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(v).
+// It returns nil for unweighted graphs.
+func (g *Graph) NeighborWeights(v int) []float64 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// MaxDegree returns the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns all undirected edges (u <= v once each).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if int(v) >= u {
+				e := Edge{U: u, V: int(v), W: 1}
+				if ws != nil {
+					e.W = ws[i]
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// ForEdges calls fn(u, v, w) once per undirected edge with u <= v.
+func (g *Graph) ForEdges(fn func(u, v int, w float64)) {
+	for u := 0; u < g.n; u++ {
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if int(v) >= u {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				fn(u, int(v), w)
+			}
+		}
+	}
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, weighted=%v)", g.n, g.m, g.Weighted())
+}
+
+// ErrNodeRange reports an edge endpoint outside [0, n).
+var ErrNodeRange = errors.New("graph: edge endpoint out of node range")
+
+// Build constructs a CSR graph with n nodes from an edge list.
+// Duplicate edges and self-loops are kept as given (generators are
+// responsible for de-duplication where the model requires it). Weights are
+// stored iff weighted is true.
+func Build(n int, edges []Edge, weighted bool) (*Graph, error) {
+	deg := make([]int, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeRange, e.U, e.V, n)
+		}
+		deg[e.U]++
+		if e.U != e.V {
+			deg[e.V]++
+		}
+	}
+	g := &Graph{n: n, m: len(edges)}
+	g.offsets = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	total := g.offsets[n]
+	g.adj = make([]int32, total)
+	if weighted {
+		g.weights = make([]float64, total)
+	}
+	cursor := make([]int, n)
+	copy(cursor, g.offsets[:n])
+	put := func(u, v int, w float64) {
+		g.adj[cursor[u]] = int32(v)
+		if weighted {
+			g.weights[cursor[u]] = w
+		}
+		cursor[u]++
+	}
+	for _, e := range edges {
+		put(e.U, e.V, e.W)
+		if e.U != e.V {
+			put(e.V, e.U, e.W)
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for generators whose
+// edges are correct by construction.
+func MustBuild(n int, edges []Edge, weighted bool) *Graph {
+	g, err := Build(n, edges, weighted)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// SortAdjacency sorts each node's neighbor list in place (stable layout
+// for deterministic traversal order, useful in tests).
+func (g *Graph) SortAdjacency() {
+	for v := 0; v < g.n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		if g.weights == nil {
+			nb := g.adj[lo:hi]
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+			continue
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = i
+		}
+		nb := g.adj[lo:hi]
+		ws := g.weights[lo:hi]
+		sort.Slice(idx, func(i, j int) bool { return nb[idx[i]] < nb[idx[j]] })
+		nb2 := make([]int32, len(nb))
+		ws2 := make([]float64, len(ws))
+		for i, j := range idx {
+			nb2[i], ws2[i] = nb[j], ws[j]
+		}
+		copy(nb, nb2)
+		copy(ws, ws2)
+	}
+}
+
+// ConnectedComponentsRef is a simple reference DFS labelling used by tests
+// to validate the parallel implementations. It returns one label per node;
+// two nodes share a label iff they are connected.
+func (g *Graph) ConnectedComponentsRef() []int {
+	label := make([]int, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	stack := make([]int, 0, 64)
+	for s := 0; s < g.n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		stack = append(stack[:0], s)
+		label[s] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(v) {
+				if label[w] == -1 {
+					label[w] = next
+					stack = append(stack, int(w))
+				}
+			}
+		}
+		next++
+	}
+	return label
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: i - 1, V: i, W: float64(i)})
+	}
+	return MustBuild(n, edges, true)
+}
+
+func TestBuildBasic(t *testing.T) {
+	g := path(5)
+	if g.N() != 5 || g.M() != 4 || !g.Weighted() {
+		t.Fatalf("summary %v", g)
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("degrees")
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatal("max degree")
+	}
+}
+
+func TestBuildRejectsBadEndpoints(t *testing.T) {
+	for _, e := range []Edge{{U: -1, V: 0}, {U: 0, V: 9}} {
+		_, err := Build(3, []Edge{e}, false)
+		if !errors.Is(err, ErrNodeRange) {
+			t.Fatalf("edge %+v: err = %v", e, err)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustBuild(1, []Edge{{U: 0, V: 5}}, false)
+}
+
+func TestSelfLoopCountedOnce(t *testing.T) {
+	g := MustBuild(2, []Edge{{U: 0, V: 0}, {U: 0, V: 1}}, false)
+	if g.Degree(0) != 2 { // self-loop once + neighbor
+		t.Fatalf("degree with self-loop = %d", g.Degree(0))
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d", g.M())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := path(6)
+	edges := g.Edges()
+	if len(edges) != 5 {
+		t.Fatalf("edges = %v", edges)
+	}
+	g2 := MustBuild(6, edges, true)
+	// Same structure: compare neighbor multisets node by node.
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestForEdgesVisitsEachOnce(t *testing.T) {
+	g := path(10)
+	var total float64
+	count := 0
+	g.ForEdges(func(u, v int, w float64) {
+		if u > v {
+			t.Fatal("u > v in ForEdges")
+		}
+		total += w
+		count++
+	})
+	if count != 9 || total != 45 { // 1+..+9
+		t.Fatalf("count=%d total=%v", count, total)
+	}
+}
+
+func TestNeighborWeightsNilForUnweighted(t *testing.T) {
+	g := MustBuild(2, []Edge{{U: 0, V: 1}}, false)
+	if g.NeighborWeights(0) != nil {
+		t.Fatal("unweighted graph has weights")
+	}
+}
+
+func TestSortAdjacencyKeepsWeightsAligned(t *testing.T) {
+	g := MustBuild(4, []Edge{{U: 0, V: 3, W: 3}, {U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 2}}, true)
+	g.SortAdjacency()
+	nb := g.Neighbors(0)
+	ws := g.NeighborWeights(0)
+	for i := range nb {
+		if float64(nb[i]) != ws[i] {
+			t.Fatalf("weight misaligned after sort: nb=%v ws=%v", nb, ws)
+		}
+		if i > 0 && nb[i-1] > nb[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestConnectedComponentsRefQuick(t *testing.T) {
+	// Property: a path graph has one component; removing one edge makes
+	// exactly two.
+	f := func(sz uint8) bool {
+		n := int(sz%50) + 3
+		full := path(n)
+		if labels := full.ConnectedComponentsRef(); !allEqual(labels) {
+			return false
+		}
+		// Drop the middle edge.
+		var edges []Edge
+		full.ForEdges(func(u, v int, w float64) {
+			if u != n/2 {
+				edges = append(edges, Edge{U: u, V: v, W: w})
+			}
+		})
+		cut := MustBuild(n, edges, false)
+		labels := cut.ConnectedComponentsRef()
+		seen := map[int]bool{}
+		for _, l := range labels {
+			seen[l] = true
+		}
+		return len(seen) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allEqual(xs []int) bool {
+	for _, x := range xs {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStringSummary(t *testing.T) {
+	if s := path(3).String(); !strings.Contains(s, "n=3") || !strings.Contains(s, "m=2") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := MustBuild(0, nil, false)
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("empty graph accessors")
+	}
+	if len(g.ConnectedComponentsRef()) != 0 {
+		t.Fatal("empty CC")
+	}
+}

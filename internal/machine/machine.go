@@ -1,0 +1,224 @@
+// Package machine implements the abstract parallel machine models used to
+// design and predict the performance of the case-study algorithms: PRAM
+// work/depth (with Brent's scheduling bound), BSP (Valiant 1990), and
+// LogP (Culler et al. 1993).
+//
+// In the algorithm-engineering loop, models serve two purposes:
+//
+//  1. Design time: choose between algorithms by comparing their model
+//     costs before writing code (e.g. pointer jumping is work-inefficient
+//     — Θ(n log n) work — so it can only win when P is large relative to
+//     the log n factor).
+//  2. Validation time: fit the model's machine parameters from
+//     micro-benchmarks, predict each kernel's running time, and compare
+//     against measurements. Agreement means the implementation has no
+//     hidden performance bug; disagreement is a finding. Experiments E9
+//     and E13 perform this validation.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WorkDepth is the PRAM-style cost of a computation: total operation
+// count (work) and critical-path length (depth/span).
+type WorkDepth struct {
+	Work  float64
+	Depth float64
+}
+
+// Seq composes two computations sequentially: work and depth both add.
+func (a WorkDepth) Seq(b WorkDepth) WorkDepth {
+	return WorkDepth{Work: a.Work + b.Work, Depth: a.Depth + b.Depth}
+}
+
+// Par composes two computations in parallel: work adds, depth is the max.
+func (a WorkDepth) Par(b WorkDepth) WorkDepth {
+	return WorkDepth{Work: a.Work + b.Work, Depth: math.Max(a.Depth, b.Depth)}
+}
+
+// Brent returns the classic scheduling bound on execution time with p
+// processors, in abstract operation units: T_p <= W/p + D.
+func (a WorkDepth) Brent(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return a.Work/float64(p) + a.Depth
+}
+
+// Speedup returns the model speedup W / T_p (sequential work divided by
+// Brent's bound).
+func (a WorkDepth) Speedup(p int) float64 {
+	t := a.Brent(p)
+	if t == 0 {
+		return 0
+	}
+	return a.Work / t
+}
+
+// Analytic work/depth for the suite's kernels, parameterized by input
+// size. Constants are unit operations; they are calibrated to wall-clock
+// via a per-kernel ns/op factor at fit time.
+
+// ScanWD is the blocked two-sweep parallel scan: 2n work, 2n/p + p depth
+// in the blocked realization; in pure PRAM terms depth is O(log n), but
+// we model the implemented algorithm, not the idealized one.
+func ScanWD(n int) WorkDepth {
+	return WorkDepth{Work: 2 * float64(n), Depth: 2 * math.Log2(math.Max(2, float64(n)))}
+}
+
+// SortWD models comparison sample sort: n log n work, log^2 n depth.
+func SortWD(n int) WorkDepth {
+	lg := math.Log2(math.Max(2, float64(n)))
+	return WorkDepth{Work: float64(n) * lg, Depth: lg * lg}
+}
+
+// ListRankWD models pointer jumping: n log n work (the work-inefficiency
+// that experiment E4 exhibits), log n depth.
+func ListRankWD(n int) WorkDepth {
+	lg := math.Log2(math.Max(2, float64(n)))
+	return WorkDepth{Work: float64(n) * lg, Depth: lg}
+}
+
+// MatmulWD models dense n^3 multiplication with log n reduction depth.
+func MatmulWD(n int) WorkDepth {
+	f := float64(n)
+	return WorkDepth{Work: 2 * f * f * f, Depth: math.Log2(math.Max(2, f))}
+}
+
+// CCWD models hook-and-contract connectivity: (n+m) log n work, log^2 n
+// depth.
+func CCWD(n, m int) WorkDepth {
+	lg := math.Log2(math.Max(2, float64(n)))
+	return WorkDepth{Work: float64(n+m) * lg, Depth: lg * lg}
+}
+
+// BSPParams are the Bulk-Synchronous Parallel machine parameters.
+// Costs are expressed in the same unit as w (per-operation time); g is
+// the per-word communication gap and l the barrier latency, both in
+// operation units.
+type BSPParams struct {
+	P int     // processors
+	G float64 // gap: time per word of h-relation, in op units
+	L float64 // barrier synchronization latency, in op units
+}
+
+// Superstep is one BSP superstep's observed cost drivers: the maximum
+// local computation (operations) and the maximum h-relation (words sent
+// or received by any processor).
+type Superstep struct {
+	W float64 // max local work (operations)
+	H float64 // max words communicated by one processor
+}
+
+// Cost returns the BSP cost of one superstep: w + g·h + l.
+func (p BSPParams) Cost(s Superstep) float64 { return s.W + p.G*s.H + p.L }
+
+// TotalCost sums the cost over a superstep trace.
+func (p BSPParams) TotalCost(steps []Superstep) float64 {
+	t := 0.0
+	for _, s := range steps {
+		t += p.Cost(s)
+	}
+	return t
+}
+
+// ErrFitUnderdetermined reports too few observations to fit parameters.
+var ErrFitUnderdetermined = errors.New("machine: need at least 2 distinct observations to fit")
+
+// FitBSP estimates (g, l) by least squares from observed superstep costs:
+// given per-superstep (w, h, measured time), solve time - w ≈ g·h + l.
+// Negative estimates are clamped to zero (measurement noise on a machine
+// with cheap communication).
+func FitBSP(steps []Superstep, times []float64) (g, l float64, err error) {
+	if len(steps) != len(times) || len(steps) < 2 {
+		return 0, 0, ErrFitUnderdetermined
+	}
+	// Least squares of y = g*h + l where y = time - w.
+	var sh, sy, shh, shy float64
+	n := float64(len(steps))
+	distinct := false
+	for i, s := range steps {
+		y := times[i] - s.W
+		sh += s.H
+		sy += y
+		shh += s.H * s.H
+		shy += s.H * y
+		if s.H != steps[0].H {
+			distinct = true
+		}
+	}
+	if !distinct {
+		return 0, 0, fmt.Errorf("%w: all h-relations equal", ErrFitUnderdetermined)
+	}
+	den := n*shh - sh*sh
+	g = (n*shy - sh*sy) / den
+	l = (sy - g*sh) / n
+	if g < 0 {
+		g = 0
+	}
+	if l < 0 {
+		l = 0
+	}
+	return g, l, nil
+}
+
+// LogPParams are the LogP machine parameters (all in operation units):
+// L latency, O per-message overhead, G gap between messages, P procs.
+type LogPParams struct {
+	L float64
+	O float64
+	G float64
+	P int
+}
+
+// PointToPoint returns the LogP cost of one small message: 2o + L.
+func (p LogPParams) PointToPoint() float64 { return 2*p.O + p.L }
+
+// Broadcast returns the cost of an optimal single-item broadcast to P-1
+// receivers under LogP. We build the optimal broadcast tree greedily:
+// each informed processor repeatedly sends to new processors, each send
+// occupying the sender for max(o, g) and delivering after o+L+o.
+func (p LogPParams) Broadcast() float64 {
+	if p.P <= 1 {
+		return 0
+	}
+	// Event-driven simulation of the greedy optimal broadcast tree.
+	gap := math.Max(p.O, p.G)
+	ready := []float64{0} // times at which informed procs can next send
+	informed := 1
+	last := 0.0
+	for informed < p.P {
+		// Pick the sender that can send earliest.
+		best := 0
+		for i, t := range ready {
+			if t < ready[best] {
+				best = i
+			}
+		}
+		sendAt := ready[best]
+		arrive := sendAt + p.O + p.L + p.O
+		ready[best] = sendAt + gap
+		ready = append(ready, arrive+math.Max(0, gap-p.O))
+		informed++
+		if arrive > last {
+			last = arrive
+		}
+	}
+	return last
+}
+
+// AllReduce returns the LogP cost of a reduction + broadcast over a
+// binomial tree: 2·ceil(log2 P)·(L + 2o).
+func (p LogPParams) AllReduce() float64 {
+	if p.P <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p.P)))
+	return 2 * rounds * (p.L + 2*p.O)
+}
+
+// Barrier approximates a barrier as an all-reduce of an empty value.
+func (p LogPParams) Barrier() float64 { return p.AllReduce() }

@@ -1,0 +1,51 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Error-propagating parallel loops. Kernels in this repository are
+// panic-free by construction, but library consumers iterate over
+// fallible work (parsing shards, probing files, validating records).
+// ForEach gives them structured cancellation without pulling in context
+// plumbing: the first error wins, later chunks are skipped (best
+// effort), and in-flight chunks run to completion — the same semantics
+// as errgroup-with-cancel, implemented with one atomic.
+
+// ForEach executes body(i) for i in [0, n) in parallel and returns the
+// error from the smallest index that failed (deterministic even though
+// execution order is not). After any error is observed, not-yet-started
+// chunks are skipped.
+func ForEach(n int, opts Options, body func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var failedIdx atomic.Int64
+	failedIdx.Store(int64(n))
+	var mu sync.Mutex
+	var firstErr error
+	record := func(i int, err error) {
+		mu.Lock()
+		if int64(i) < failedIdx.Load() {
+			failedIdx.Store(int64(i))
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	ForRange(n, opts, func(lo, hi int) {
+		if int64(lo) >= failedIdx.Load() {
+			return // a smaller index already failed; skip this chunk
+		}
+		for i := lo; i < hi; i++ {
+			if err := body(i); err != nil {
+				record(i, err)
+				return
+			}
+		}
+	})
+	if failedIdx.Load() == int64(n) {
+		return nil
+	}
+	return firstErr
+}

@@ -1,0 +1,178 @@
+package par
+
+import "sync"
+
+// Pack (also known as filter or stream compaction) copies the elements of
+// xs satisfying pred into a new dense slice, preserving input order. It is
+// the classic scan application: count per block, prefix-sum the counts to
+// find output offsets, then copy per block — two passes, fully parallel,
+// stable.
+//
+// pred must be pure: the two-pass structure evaluates it twice per
+// element in the parallel path.
+func Pack[T any](xs []T, opts Options, pred func(T) bool) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.grain() {
+		out := make([]T, 0, n/2)
+		for _, x := range xs {
+			if pred(x) {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	counts := make([]int, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := 0
+			for i := lo; i < hi; i++ {
+				if pred(xs[i]) {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	offsets, total := PrefixSums(counts, Options{Procs: 1})
+	out := make([]T, total)
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			o := offsets[w]
+			for i := lo; i < hi; i++ {
+				if pred(xs[i]) {
+					out[o] = xs[i]
+					o++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// PackIndex returns the indices i in [0, n) for which pred(i) holds, in
+// ascending order. This form avoids materializing values and is the one
+// used by the graph kernels to build frontiers.
+//
+// pred must be pure: the two-pass structure evaluates it twice per
+// index in the parallel path.
+func PackIndex(n int, opts Options, pred func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.grain() {
+		out := make([]int, 0, n/2)
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	counts := make([]int, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := 0
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	offsets, total := PrefixSums(counts, Options{Procs: 1})
+	out := make([]int, total)
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			o := offsets[w]
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					out[o] = i
+					o++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Histogram counts occurrences of bucket(x) in [0, buckets) over xs using
+// per-worker private histograms merged at the end — the standard fix for
+// the atomic-contention anti-pattern of a single shared count array.
+func Histogram[T any](xs []T, buckets int, opts Options, bucket func(T) int) []int {
+	n := len(xs)
+	out := make([]int, buckets)
+	if n == 0 || buckets == 0 {
+		return out
+	}
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.grain() {
+		for _, x := range xs {
+			out[bucket(x)]++
+		}
+		return out
+	}
+	private := make([][]int, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := make([]int, buckets)
+			for i := lo; i < hi; i++ {
+				h[bucket(xs[i])]++
+			}
+			private[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Merge bucket-parallel: each worker sums a band of buckets.
+	ForRange(buckets, Options{Procs: p, Grain: 64}, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			s := 0
+			for w := 0; w < p; w++ {
+				s += private[w][b]
+			}
+			out[b] = s
+		}
+	})
+	return out
+}

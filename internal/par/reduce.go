@@ -1,0 +1,121 @@
+package par
+
+import "sync"
+
+// Reduce combines body(i) for all i in [0, n) with an associative operator
+// combine, starting from identity. Each worker reduces a contiguous block
+// locally and the per-worker partials are combined sequentially at the
+// end, so combine is called O(n/P + P) times and no atomics are needed on
+// the hot path.
+//
+// combine must be associative; if it is not commutative the result is
+// still well-defined because blocks are combined in index order.
+func Reduce[T any](n int, opts Options, identity T, combine func(T, T) T, body func(i int) T) T {
+	if n <= 0 {
+		return identity
+	}
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.grain() {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = combine(acc, body(i))
+		}
+		return acc
+	}
+	partial := make([]T, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, body(i))
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, v := range partial {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// Sum returns the sum of xs using a parallel tree of contiguous blocks.
+func Sum[T int | int32 | int64 | uint64 | float64](xs []T, opts Options) T {
+	return Reduce(len(xs), opts, T(0), func(a, b T) T { return a + b }, func(i int) T { return xs[i] })
+}
+
+// Max returns the maximum of xs and true, or the zero value and false for
+// an empty slice.
+func Max[T int | int32 | int64 | uint64 | float64](xs []T, opts Options) (T, bool) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, false
+	}
+	m := Reduce(len(xs), opts, xs[0],
+		func(a, b T) T {
+			if a >= b {
+				return a
+			}
+			return b
+		},
+		func(i int) T { return xs[i] })
+	return m, true
+}
+
+// Min returns the minimum of xs and true, or the zero value and false for
+// an empty slice.
+func Min[T int | int32 | int64 | uint64 | float64](xs []T, opts Options) (T, bool) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, false
+	}
+	m := Reduce(len(xs), opts, xs[0],
+		func(a, b T) T {
+			if a <= b {
+				return a
+			}
+			return b
+		},
+		func(i int) T { return xs[i] })
+	return m, true
+}
+
+// Count returns the number of indices i in [0, n) for which pred(i) holds.
+func Count(n int, opts Options, pred func(i int) bool) int {
+	return Reduce(n, opts, 0, func(a, b int) int { return a + b }, func(i int) int {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Map applies f to each element of src and writes the results into a new
+// slice, in parallel.
+func Map[S, T any](src []S, opts Options, f func(S) T) []T {
+	dst := make([]T, len(src))
+	MapInto(dst, src, opts, f)
+	return dst
+}
+
+// MapInto applies f element-wise from src into dst; the slices must have
+// equal length.
+func MapInto[S, T any](dst []T, src []S, opts Options, f func(S) T) {
+	if len(dst) != len(src) {
+		panic("par: MapInto length mismatch")
+	}
+	ForRange(len(src), opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = f(src[i])
+		}
+	})
+}

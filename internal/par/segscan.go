@@ -1,0 +1,135 @@
+package par
+
+import "sync"
+
+// Segmented scan (Blelloch): prefix sums restarted at segment heads.
+// It is the workhorse primitive behind nested data parallelism — the
+// flattened representation of "scan each subsequence independently" —
+// and underlies parallel quicksort partitioning, sparse matrix-vector
+// products and graph contraction in the scan-vector model.
+//
+// Segments are described by a flags array: flags[i] marks the start of a
+// new segment at position i (position 0 is always a segment start,
+// flagged or not).
+//
+// The implementation lifts the segmented operator to pairs (value, flag)
+// with the standard composition
+//
+//	(a, fa) ⊕ (b, fb) = (fb ? b : a∘b, fa ∨ fb)
+//
+// which is associative whenever ∘ is, so the ordinary two-sweep blocked
+// scan applies unchanged.
+
+// SegScanInclusive computes dst[i] = xs[j] ∘ ... ∘ xs[i] where j is the
+// start of i's segment. dst may alias xs; flags must have equal length.
+func SegScanInclusive[T any](dst, xs []T, flags []bool, opts Options, identity T, combine func(T, T) T) {
+	n := len(xs)
+	if len(dst) != n || len(flags) != n {
+		panic("par: SegScanInclusive length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	type seg struct {
+		v T
+		f bool
+	}
+	segCombine := func(a, b seg) seg {
+		if b.f {
+			return seg{v: b.v, f: true}
+		}
+		return seg{v: combine(a.v, b.v), f: a.f}
+	}
+	// Two-sweep blocked scan over the lifted operator, fused so the
+	// lifted pairs never materialize as a full array.
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.grain() {
+		acc := seg{v: identity}
+		for i := 0; i < n; i++ {
+			acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
+			dst[i] = acc.v
+		}
+		return
+	}
+	partial := make([]seg, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := seg{v: identity}
+			for i := lo; i < hi; i++ {
+				acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := seg{v: identity}
+	for w := 0; w < p; w++ {
+		partial[w], acc = acc, segCombine(acc, partial[w])
+	}
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := partial[w]
+			for i := lo; i < hi; i++ {
+				acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
+				dst[i] = acc.v
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// SegSums is SegScanInclusive specialized to integer addition.
+func SegSums(dst, xs []int64, flags []bool, opts Options) {
+	SegScanInclusive(dst, xs, flags, opts, 0, func(a, b int64) int64 { return a + b })
+}
+
+// Gather copies src[idx[i]] into dst[i] in parallel. idx entries must be
+// valid indices into src.
+func Gather[T any](dst, src []T, idx []int, opts Options) {
+	if len(dst) != len(idx) {
+		panic("par: Gather length mismatch")
+	}
+	ForRange(len(idx), opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = src[idx[i]]
+		}
+	})
+}
+
+// Scatter copies src[i] into dst[idx[i]] in parallel. idx must be a
+// permutation-like mapping with no duplicate destinations, otherwise the
+// result for the duplicated slot is unspecified (exclusive-write PRAM
+// convention).
+func Scatter[T any](dst, src []T, idx []int, opts Options) {
+	if len(src) != len(idx) {
+		panic("par: Scatter length mismatch")
+	}
+	ForRange(len(src), opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[idx[i]] = src[i]
+		}
+	})
+}
+
+// Permute permutes xs in place according to perm (dst position perm[i]
+// receives xs[i]) using O(n) scratch; perm must be a permutation.
+func Permute[T any](xs []T, perm []int, opts Options) {
+	if len(xs) != len(perm) {
+		panic("par: Permute length mismatch")
+	}
+	tmp := make([]T, len(xs))
+	Scatter(tmp, xs, perm, opts)
+	ForRange(len(xs), opts, func(lo, hi int) {
+		copy(xs[lo:hi], tmp[lo:hi])
+	})
+}

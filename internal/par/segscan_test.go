@@ -1,0 +1,222 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func segRef(xs []int64, flags []bool) []int64 {
+	out := make([]int64, len(xs))
+	var acc int64
+	for i := range xs {
+		if i == 0 || flags[i] {
+			acc = 0
+		}
+		acc += xs[i]
+		out[i] = acc
+	}
+	return out
+}
+
+func TestSegSumsMatchesReference(t *testing.T) {
+	for _, opts := range []Options{
+		{Procs: 1}, {Procs: 2, Grain: 1}, {Procs: 4, Grain: 7}, {Procs: 8, Grain: 100},
+	} {
+		for _, n := range []int{0, 1, 2, 100, 1000} {
+			r := rng.New(uint64(n) + 1)
+			xs := make([]int64, n)
+			flags := make([]bool, n)
+			for i := range xs {
+				xs[i] = int64(r.Intn(100))
+				flags[i] = r.Intn(5) == 0
+			}
+			want := segRef(xs, flags)
+			dst := make([]int64, n)
+			SegSums(dst, xs, flags, opts)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("opts=%+v n=%d: seg scan[%d] = %d, want %d", opts, n, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSegScanNoFlagsEqualsScan(t *testing.T) {
+	n := 777
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i % 9)
+	}
+	flags := make([]bool, n)
+	a := make([]int64, n)
+	b := make([]int64, n)
+	SegSums(a, xs, flags, Options{Procs: 4, Grain: 8})
+	ScanInclusive(b, xs, Options{Procs: 4, Grain: 8}, 0, func(x, y int64) int64 { return x + y })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flagless segmented scan differs at %d", i)
+		}
+	}
+}
+
+func TestSegScanAllFlagsIsIdentity(t *testing.T) {
+	xs := []int64{5, 7, 9, 11}
+	flags := []bool{true, true, true, true}
+	dst := make([]int64, 4)
+	SegSums(dst, xs, flags, Options{Procs: 2, Grain: 1})
+	for i := range xs {
+		if dst[i] != xs[i] {
+			t.Fatalf("every-element segments: got %v", dst)
+		}
+	}
+}
+
+func TestSegScanAliasing(t *testing.T) {
+	xs := []int64{1, 2, 3, 4, 5, 6}
+	flags := []bool{false, false, false, true, false, false}
+	SegSums(xs, xs, flags, Options{Procs: 3, Grain: 1})
+	want := []int64{1, 3, 6, 4, 9, 15}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("aliased = %v, want %v", xs, want)
+		}
+	}
+}
+
+func TestSegScanQuick(t *testing.T) {
+	f := func(raw []uint8, flagBits []bool, procs uint8) bool {
+		n := len(raw)
+		if len(flagBits) < n {
+			flagBits = append(flagBits, make([]bool, n-len(flagBits))...)
+		}
+		xs := make([]int64, n)
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		flags := flagBits[:n]
+		want := segRef(xs, flags)
+		dst := make([]int64, n)
+		SegSums(dst, xs, flags, Options{Procs: int(procs%8) + 1, Grain: 1})
+		for i := range want {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterPermute(t *testing.T) {
+	src := []int64{10, 20, 30, 40}
+	idx := []int{3, 0, 2, 1}
+	dst := make([]int64, 4)
+	Gather(dst, src, idx, Options{Procs: 2, Grain: 1})
+	want := []int64{40, 10, 30, 20}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Gather = %v", dst)
+		}
+	}
+	dst2 := make([]int64, 4)
+	Scatter(dst2, src, idx, Options{Procs: 2, Grain: 1})
+	want2 := []int64{20, 40, 30, 10}
+	for i := range want2 {
+		if dst2[i] != want2[i] {
+			t.Fatalf("Scatter = %v", dst2)
+		}
+	}
+	xs := append([]int64(nil), src...)
+	Permute(xs, idx, Options{Procs: 2, Grain: 1})
+	for i := range want2 {
+		if xs[i] != want2[i] {
+			t.Fatalf("Permute = %v", xs)
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	n := 1000
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	perm := r.Perm(n)
+	inv := make([]int, n)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	opts := Options{Procs: 4, Grain: 16}
+	Permute(xs, perm, opts)
+	Permute(xs, inv, opts)
+	for i := range xs {
+		if xs[i] != int64(i) {
+			t.Fatalf("perm∘inv not identity at %d", i)
+		}
+	}
+}
+
+func TestGatherPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Gather(make([]int, 2), []int{1}, []int{0, 0, 0}, Options{})
+}
+
+func TestForEachNoError(t *testing.T) {
+	if err := ForEach(1000, Options{Procs: 4, Grain: 8}, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(0, Options{}, func(i int) error { return errors.New("x") }); err != nil {
+		t.Fatal("body ran for n=0")
+	}
+}
+
+func TestForEachReturnsSmallestIndexError(t *testing.T) {
+	for _, opts := range []Options{{Procs: 1}, {Procs: 4, Grain: 1}, {Procs: 8, Policy: Dynamic, Grain: 3}} {
+		err := ForEach(1000, opts, func(i int) error {
+			if i%100 == 7 {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@7" {
+			t.Fatalf("opts=%+v: err = %v, want fail@7", opts, err)
+		}
+	}
+}
+
+func TestForEachSkipsAfterFailure(t *testing.T) {
+	// With a failure at index 0 and static scheduling, most later chunks
+	// should be skipped (best effort: at least not all indices run).
+	var ran atomic32
+	err := ForEach(100000, Options{Procs: 2, Grain: 64}, func(i int) error {
+		ran.inc()
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if ran.load() == 100000 {
+		t.Log("note: all indices ran despite early failure (legal but unexpected)")
+	}
+}
+
+type atomic32 struct{ v atomic.Int32 }
+
+func (a *atomic32) inc()        { a.v.Add(1) }
+func (a *atomic32) load() int32 { return a.v.Load() }

@@ -1,0 +1,216 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Stddev != 0 || s.CI95 != 0 {
+		t.Fatalf("single Summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Fatal("GeoMean with zero should be NaN")
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Fatal("Speedup")
+	}
+	if Efficiency(10, 2, 5) != 1 {
+		t.Fatal("Efficiency")
+	}
+	if Speedup(10, 0) != 0 || Efficiency(1, 1, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestKarpFlatt(t *testing.T) {
+	// Perfect speedup => serial fraction 0.
+	if e := KarpFlatt(4, 4); math.Abs(e) > 1e-12 {
+		t.Fatalf("KarpFlatt(4,4) = %v", e)
+	}
+	// No speedup at all => serial fraction 1.
+	if e := KarpFlatt(1, 8); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("KarpFlatt(1,8) = %v", e)
+	}
+	if !math.IsNaN(KarpFlatt(2, 1)) || !math.IsNaN(KarpFlatt(0, 4)) {
+		t.Fatal("invalid KarpFlatt inputs must be NaN")
+	}
+}
+
+func TestAmdahlGustafson(t *testing.T) {
+	// f=0: linear speedup.
+	if Amdahl(0, 16) != 16 {
+		t.Fatal("Amdahl(0,16)")
+	}
+	// f=1: no speedup.
+	if Amdahl(1, 16) != 1 {
+		t.Fatal("Amdahl(1,16)")
+	}
+	// Gustafson with f=0 is linear.
+	if Gustafson(0, 16) != 16 {
+		t.Fatal("Gustafson(0,16)")
+	}
+	if Amdahl(0.5, 0) != 0 {
+		t.Fatal("Amdahl p<1")
+	}
+}
+
+func TestAmdahlMonotoneQuick(t *testing.T) {
+	f := func(fr float64, p uint8) bool {
+		fr = math.Abs(fr)
+		fr -= math.Floor(fr) // into [0,1)
+		pp := int(p%64) + 1
+		s := Amdahl(fr, pp)
+		return s >= 1-1e-12 && s <= float64(pp)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputFormat(t *testing.T) {
+	if Throughput(100, 2) != 50 {
+		t.Fatal("Throughput")
+	}
+	if Throughput(100, 0) != 0 {
+		t.Fatal("Throughput zero time")
+	}
+	for _, tc := range []struct {
+		sec  float64
+		want string
+	}{
+		{1.5, "1.5s"},
+		{0.0015, "1.5ms"},
+		{0.0000015, "1.5µs"},
+		{0.0000000015, "1.5ns"},
+	} {
+		if got := FormatDuration(tc.sec); got != tc.want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", tc.sec, got, tc.want)
+		}
+	}
+}
+
+func TestRunnerRepsAndWarmup(t *testing.T) {
+	r := Runner{Warmup: 2, Reps: 5}
+	var calls, warmups int
+	s := r.Time(func(rep int) {
+		calls++
+		if rep < 0 {
+			warmups++
+		}
+	})
+	if calls != 7 || warmups != 2 || s.N != 5 {
+		t.Fatalf("calls=%d warmups=%d N=%d", calls, warmups, s.N)
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	var r Runner
+	calls := 0
+	s := r.Time(func(rep int) { calls++ })
+	if calls != 4 || s.N != 3 {
+		t.Fatalf("default runner: calls=%d N=%d", calls, s.N)
+	}
+}
+
+func TestMeasureLabels(t *testing.T) {
+	r := Runner{Warmup: 1, Reps: 1}
+	m := r.Measure(L("kernel", "scan", "p", "4"), func(rep int) {})
+	if m.Labels["kernel"] != "scan" || m.Labels["p"] != "4" {
+		t.Fatalf("labels = %v", m.Labels)
+	}
+	if m.Extra == nil {
+		t.Fatal("Extra not initialized")
+	}
+}
+
+func TestLPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	L("just-one")
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Tab X", "name", "value")
+	tb.AddRowf("scan", 3.14159)
+	tb.AddRowf("sort", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Tab X") || !strings.Contains(out, "3.142") || !strings.Contains(out, "42") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `q"z`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatal("row lost")
+	}
+}

@@ -1,0 +1,70 @@
+package pgraph
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+func TestBFSHybridMatchesPlainBFS(t *testing.T) {
+	for name, g := range testGraphs() {
+		want := BFS(g, 0, testOpts)
+		for _, alpha := range []int{0, 1, 14, 1000000} {
+			got := BFSHybrid(g, 0, alpha, testOpts)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s alpha=%d: depth[%d] = %d, want %d", name, alpha, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSHybridForcedBottomUp(t *testing.T) {
+	// alpha so large that threshold ≈ 0: every level runs bottom-up.
+	g := gen.ErdosRenyi(3000, 10, false, 7)
+	want := bfsRef(g, 0)
+	got := BFSHybrid(g, 0, 1<<30, par.Options{Procs: 4, Grain: 64})
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("bottom-up depth[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSHybridForcedTopDown(t *testing.T) {
+	// alpha=1: threshold = m, frontier edges can never exceed it (they
+	// equal it at most), so the traversal stays top-down.
+	g := gen.Grid2D(40, 40, false, 3)
+	want := bfsRef(g, 0)
+	got := BFSHybrid(g, 0, 1, par.Options{Procs: 4, Grain: 64})
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("top-down depth[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSHybridAcrossProcs(t *testing.T) {
+	g := gen.RMAT(11, 8, false, 9)
+	want := BFSHybrid(g, 0, 14, par.Options{Procs: 1})
+	for _, p := range []int{2, 8} {
+		got := BFSHybrid(g, 0, 14, par.Options{Procs: p, Grain: 32})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("procs=%d: depth mismatch at %d", p, v)
+			}
+		}
+	}
+}
+
+func TestBFSHybridUnreachable(t *testing.T) {
+	g := gen.Components(2, 100, 6, 5)
+	got := BFSHybrid(g, 0, 14, testOpts)
+	for v := 100; v < 200; v++ {
+		if got[v] != -1 {
+			t.Fatalf("other component reached: depth[%d] = %d", v, got[v])
+		}
+	}
+}

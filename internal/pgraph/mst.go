@@ -1,0 +1,95 @@
+package pgraph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/seq"
+)
+
+// MSTBoruvka computes the total weight of a minimum spanning forest with
+// Borůvka's algorithm: each round every component selects its minimum
+// outgoing edge in parallel, the selected edges are contracted through a
+// union-find, and rounds repeat until no component has an outgoing edge.
+// At most ceil(log2 n) rounds, each with O(m) parallel work — the
+// textbook parallel MST that experiment E6 compares against Kruskal and
+// Prim.
+//
+// The per-component minimum is maintained as an atomic edge *index* with
+// a CAS retry loop comparing exact weights (ties broken by index, making
+// the selection deterministic): no locks, no precision loss.
+func MSTBoruvka(g *graph.Graph, opts par.Options) float64 {
+	n := g.N()
+	edges := g.Edges()
+	m := len(edges)
+	uf := seq.NewUnionFind(n)
+
+	less := func(a, b int) bool {
+		if edges[a].W != edges[b].W {
+			return edges[a].W < edges[b].W
+		}
+		return a < b
+	}
+
+	best := make([]atomic.Int64, n) // best[c] = edge index, -1 = none
+	comp := make([]int32, n)        // component id per node, per round
+	total := 0.0
+	for {
+		// Refresh component ids. Find is not thread-safe (path
+		// compression mutates), so snapshot sequentially; this is
+		// O(n·α) per round, outside the parallel hot loop.
+		for v := 0; v < n; v++ {
+			comp[v] = int32(uf.Find(v))
+		}
+		par.For(n, opts, func(v int) { best[v].Store(-1) })
+
+		// Parallel min-edge selection over all edges.
+		par.ForRange(m, opts, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				cu := comp[edges[e].U]
+				cv := comp[edges[e].V]
+				if cu == cv {
+					continue
+				}
+				atomicMinEdge(&best[cu], e, less)
+				atomicMinEdge(&best[cv], e, less)
+			}
+		})
+
+		// Contraction: apply every component representative's chosen
+		// edge. Union-find mutation is sequential and cheap (at most
+		// one edge per component).
+		added := 0
+		for v := 0; v < n; v++ {
+			if int(comp[v]) != v {
+				continue // not a representative this round
+			}
+			e := best[v].Load()
+			if e < 0 {
+				continue
+			}
+			if uf.Union(edges[e].U, edges[e].V) {
+				total += edges[e].W
+				added++
+			}
+		}
+		if added == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// atomicMinEdge lowers *a to edge e if e is strictly smaller under less.
+func atomicMinEdge(a *atomic.Int64, e int, less func(a, b int) bool) {
+	for {
+		cur := a.Load()
+		if cur >= 0 && !less(e, int(cur)) {
+			return
+		}
+		if a.CompareAndSwap(cur, int64(e)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package pgraph
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// PageRankResult carries the converged ranks and iteration count.
+type PageRankResult struct {
+	Ranks []float64
+	Iters int
+}
+
+// PageRank computes PageRank by synchronous power iteration with the
+// standard damping formulation, treating the undirected graph as having
+// an edge in both directions. Dangling mass (isolated nodes) is
+// redistributed uniformly. Iteration stops when the L1 change falls
+// below tol or maxIters is reached.
+//
+// The kernel is the canonical "sparse matrix-vector product per round"
+// workload: per-round work is Θ(m) with degree-skewed per-node cost, so
+// it inherits every load-balancing concern the scheduling experiments
+// study, plus a global reduction (the dangling/L1 terms) per round.
+func PageRank(g *graph.Graph, damping, tol float64, maxIters int, opts par.Options) PageRankResult {
+	n := g.N()
+	if n == 0 {
+		return PageRankResult{}
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	par.For(n, opts, func(v int) { cur[v] = inv })
+
+	for it := 1; it <= maxIters; it++ {
+		// Dangling mass: rank of degree-0 nodes spreads uniformly.
+		dangling := par.Reduce(n, opts, 0.0,
+			func(a, b float64) float64 { return a + b },
+			func(v int) float64 {
+				if g.Degree(v) == 0 {
+					return cur[v]
+				}
+				return 0
+			})
+		base := (1-damping)*inv + damping*dangling*inv
+
+		// Pull step: next[v] = base + d * Σ_{u∈N(v)} cur[u]/deg(u).
+		par.For(n, opts, func(v int) {
+			sum := 0.0
+			for _, u := range g.Neighbors(v) {
+				sum += cur[u] / float64(g.Degree(int(u)))
+			}
+			next[v] = base + damping*sum
+		})
+
+		delta := par.Reduce(n, opts, 0.0,
+			func(a, b float64) float64 { return a + b },
+			func(v int) float64 { return math.Abs(next[v] - cur[v]) })
+		cur, next = next, cur
+		if delta < tol {
+			return PageRankResult{Ranks: cur, Iters: it}
+		}
+	}
+	return PageRankResult{Ranks: cur, Iters: maxIters}
+}
+
+// TriangleCount returns the number of triangles in g using the standard
+// node-iterator-with-orientation algorithm: orient each edge from lower
+// to higher degree (ties by id), then for every node intersect the
+// sorted forward-adjacency lists of its forward neighbors. Orientation
+// bounds per-node forward degree by O(√m), the arboricity argument that
+// makes the algorithm practical on skewed graphs — and the per-node work
+// skew it retains is exactly why the harness pairs it with the dynamic
+// schedule.
+//
+// The graph's adjacency lists must not contain duplicate parallel edges
+// for exact counts (generators with multi-edges produce upper bounds).
+func TriangleCount(g *graph.Graph, opts par.Options) int64 {
+	n := g.N()
+	// Build forward adjacency: u -> v iff (deg(u), u) < (deg(v), v).
+	forward := make([][]int32, n)
+	less := func(a, b int32) bool {
+		da, db := g.Degree(int(a)), g.Degree(int(b))
+		if da != db {
+			return da < db
+		}
+		return a < b
+	}
+	par.For(n, opts, func(u int) {
+		var fwd []int32
+		for _, v := range g.Neighbors(u) {
+			if less(int32(u), v) {
+				fwd = append(fwd, v)
+			}
+		}
+		// Sort ascending by (degree, id) so intersections can merge.
+		insertionSortBy(fwd, less)
+		forward[u] = fwd
+	})
+	// Count: for each u, for each pair (v, w) in forward(u) with v→w,
+	// check w ∈ forward(v) by sorted merge.
+	dynOpts := opts
+	dynOpts.Policy = par.Dynamic
+	if dynOpts.Grain <= 0 || dynOpts.Grain > 256 {
+		dynOpts.Grain = 256
+	}
+	total := par.Reduce(n, dynOpts, int64(0),
+		func(a, b int64) int64 { return a + b },
+		func(u int) int64 {
+			fu := forward[u]
+			var count int64
+			for _, v := range fu {
+				fv := forward[v]
+				count += intersectSorted(fu, fv, less)
+			}
+			return count
+		})
+	return total
+}
+
+// intersectSorted counts common elements of two lists sorted by less.
+func intersectSorted(a, b []int32, less func(x, y int32) bool) int64 {
+	var count int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case less(a[i], b[j]):
+			i++
+		case less(b[j], a[i]):
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+func insertionSortBy(xs []int32, less func(a, b int32) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package pgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func TestPageRankSumsToOne(t *testing.T) {
+	for _, g := range testGraphs() {
+		res := PageRank(g, 0.85, 1e-10, 500, testOpts)
+		sum := 0.0
+		for _, r := range res.Ranks {
+			if r < 0 {
+				t.Fatal("negative rank")
+			}
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("ranks sum to %v", sum)
+		}
+		if res.Iters <= 0 {
+			t.Fatal("no iterations recorded")
+		}
+	}
+}
+
+func TestPageRankUniformOnRegularGraph(t *testing.T) {
+	// On a vertex-transitive graph (a cycle), all ranks are equal.
+	n := 100
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: i, V: (i + 1) % n}
+	}
+	g := graph.MustBuild(n, edges, false)
+	res := PageRank(g, 0.85, 1e-12, 1000, testOpts)
+	for v, r := range res.Ranks {
+		if math.Abs(r-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("cycle rank[%d] = %v, want %v", v, r, 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankStarCenterHighest(t *testing.T) {
+	// Star: the hub must out-rank every leaf.
+	n := 50
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: v})
+	}
+	g := graph.MustBuild(n, edges, false)
+	res := PageRank(g, 0.85, 1e-12, 1000, testOpts)
+	for v := 1; v < n; v++ {
+		if res.Ranks[0] <= res.Ranks[v] {
+			t.Fatalf("hub rank %v <= leaf rank %v", res.Ranks[0], res.Ranks[v])
+		}
+	}
+}
+
+func TestPageRankMatchesSequentialReference(t *testing.T) {
+	g := gen.ErdosRenyi(500, 6, false, 3)
+	res := PageRank(g, 0.85, 1e-12, 2000, testOpts)
+	want := pageRankRef(g, 0.85, 1e-12, 2000)
+	for v := range want {
+		if math.Abs(res.Ranks[v]-want[v]) > 1e-8 {
+			t.Fatalf("rank[%d] = %v, want %v", v, res.Ranks[v], want[v])
+		}
+	}
+}
+
+func TestPageRankDeterministicAcrossProcs(t *testing.T) {
+	// Identical results regardless of worker count would require ordered
+	// floating-point reduction; we require agreement to tight tolerance.
+	g := gen.RMAT(10, 8, false, 5)
+	a := PageRank(g, 0.85, 1e-12, 300, par.Options{Procs: 1})
+	b := PageRank(g, 0.85, 1e-12, 300, par.Options{Procs: 8, Grain: 16})
+	for v := range a.Ranks {
+		if math.Abs(a.Ranks[v]-b.Ranks[v]) > 1e-9 {
+			t.Fatalf("procs changed rank[%d]: %v vs %v", v, a.Ranks[v], b.Ranks[v])
+		}
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	g := graph.MustBuild(0, nil, false)
+	if res := PageRank(g, 0.85, 1e-9, 10, testOpts); res.Ranks != nil {
+		t.Fatal("empty graph should return zero result")
+	}
+}
+
+// pageRankRef is a plain sequential implementation used as an oracle.
+func pageRankRef(g *graph.Graph, damping, tol float64, maxIters int) []float64 {
+	n := g.N()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for v := range cur {
+		cur[v] = inv
+	}
+	for it := 0; it < maxIters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dangling += cur[v]
+			}
+		}
+		base := (1-damping)*inv + damping*dangling*inv
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.Neighbors(v) {
+				sum += cur[u] / float64(g.Degree(int(u)))
+			}
+			next[v] = base + damping*sum
+		}
+		delta := 0.0
+		for v := range cur {
+			delta += math.Abs(next[v] - cur[v])
+		}
+		cur, next = next, cur
+		if delta < tol {
+			break
+		}
+	}
+	return cur
+}
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	// A single triangle.
+	tri := graph.MustBuild(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, false)
+	if got := TriangleCount(tri, testOpts); got != 1 {
+		t.Fatalf("triangle graph count = %d", got)
+	}
+	// K4 has 4 triangles.
+	var k4Edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4Edges = append(k4Edges, graph.Edge{U: i, V: j})
+		}
+	}
+	k4 := graph.MustBuild(4, k4Edges, false)
+	if got := TriangleCount(k4, testOpts); got != 4 {
+		t.Fatalf("K4 count = %d", got)
+	}
+	// A path has none.
+	path := graph.MustBuild(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}, false)
+	if got := TriangleCount(path, testOpts); got != 0 {
+		t.Fatalf("path count = %d", got)
+	}
+	// Grid meshes (4-neighbor) have no triangles.
+	grid := gen.Grid2D(15, 15, false, 1)
+	if got := TriangleCount(grid, testOpts); got != 0 {
+		t.Fatalf("grid count = %d", got)
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	g := gen.RandomTree(50, false, 2) // no triangles in trees
+	if got := TriangleCount(g, testOpts); got != 0 {
+		t.Fatalf("tree count = %d", got)
+	}
+	// Small dense-ish graph vs O(n^3) brute force. Deduplicate edges
+	// first (TriangleCount requires a simple graph).
+	er := gen.ErdosRenyi(60, 8, false, 3)
+	adj := make([][]bool, 60)
+	for i := range adj {
+		adj[i] = make([]bool, 60)
+	}
+	var simple []graph.Edge
+	er.ForEdges(func(u, v int, _ float64) {
+		if !adj[u][v] && u != v {
+			adj[u][v], adj[v][u] = true, true
+			simple = append(simple, graph.Edge{U: u, V: v})
+		}
+	})
+	sg := graph.MustBuild(60, simple, false)
+	var want int64
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			if !adj[i][j] {
+				continue
+			}
+			for k := j + 1; k < 60; k++ {
+				if adj[j][k] && adj[i][k] {
+					want++
+				}
+			}
+		}
+	}
+	if got := TriangleCount(sg, testOpts); got != want {
+		t.Fatalf("count = %d, brute force = %d", got, want)
+	}
+}
+
+func TestTriangleCountAcrossProcs(t *testing.T) {
+	g := gen.Grid2D(10, 10, false, 1)
+	// Add diagonals to create triangles: connect (i,j)-(i+1,j+1).
+	var edges []graph.Edge
+	g.ForEdges(func(u, v int, _ float64) { edges = append(edges, graph.Edge{U: u, V: v}) })
+	id := func(i, j int) int { return i*10 + j }
+	for i := 0; i+1 < 10; i++ {
+		for j := 0; j+1 < 10; j++ {
+			edges = append(edges, graph.Edge{U: id(i, j), V: id(i+1, j+1)})
+		}
+	}
+	dg := graph.MustBuild(100, edges, false)
+	want := TriangleCount(dg, par.Options{Procs: 1})
+	if want == 0 {
+		t.Fatal("diagonal grid should have triangles")
+	}
+	for _, p := range []int{2, 4, 8} {
+		if got := TriangleCount(dg, par.Options{Procs: p, Grain: 4}); got != want {
+			t.Fatalf("procs=%d: %d != %d", p, got, want)
+		}
+	}
+}

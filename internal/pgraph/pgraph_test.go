@@ -1,0 +1,232 @@
+package pgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/seq"
+)
+
+var testOpts = par.Options{Procs: 4, Grain: 64}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"er-sparse":  gen.ErdosRenyi(2000, 2, false, 1),  // many components
+		"er-dense":   gen.ErdosRenyi(1000, 16, false, 2), // one giant component
+		"rmat":       gen.RMAT(10, 8, false, 3),
+		"grid":       gen.Grid2D(40, 50, false, 4),
+		"tree":       gen.RandomTree(1500, false, 5),
+		"components": gen.Components(5, 200, 8, 6),
+	}
+}
+
+func TestCCAlgorithmsMatchReference(t *testing.T) {
+	for name, g := range testGraphs() {
+		ref := g.ConnectedComponentsRef()
+		for algName, fn := range map[string]func(*graph.Graph, par.Options) []int32{
+			"labelprop": CCLabelProp,
+			"hook":      CCHook,
+		} {
+			got := fn(g, testOpts)
+			if !SamePartition(got, ref) {
+				t.Fatalf("%s on %s: partition mismatch", algName, name)
+			}
+		}
+	}
+}
+
+func TestCCAcrossProcs(t *testing.T) {
+	g := gen.RMAT(11, 4, false, 9)
+	ref := g.ConnectedComponentsRef()
+	for _, p := range []int{1, 2, 8} {
+		opts := par.Options{Procs: p, Grain: 32}
+		if !SamePartition(CCLabelProp(g, opts), ref) {
+			t.Fatalf("labelprop procs=%d mismatch", p)
+		}
+		if !SamePartition(CCHook(g, opts), ref) {
+			t.Fatalf("hook procs=%d mismatch", p)
+		}
+	}
+}
+
+func TestCCComponentsExactCount(t *testing.T) {
+	g := gen.Components(7, 150, 8, 11)
+	if got := CountComponents(CCLabelProp(g, testOpts)); got != 7 {
+		t.Fatalf("labelprop found %d components, want 7", got)
+	}
+	if got := CountComponents(CCHook(g, testOpts)); got != 7 {
+		t.Fatalf("hook found %d components, want 7", got)
+	}
+}
+
+func TestCCQuick(t *testing.T) {
+	f := func(seed uint64, procs uint8) bool {
+		g := gen.ErdosRenyi(300, 3, false, seed)
+		ref := g.ConnectedComponentsRef()
+		opts := par.Options{Procs: int(procs%8) + 1, Grain: 16}
+		return SamePartition(CCLabelProp(g, opts), ref) &&
+			SamePartition(CCHook(g, opts), ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamePartitionNegativeCases(t *testing.T) {
+	if SamePartition([]int32{0, 0}, []int{0, 1}) {
+		t.Fatal("merged vs split accepted")
+	}
+	if SamePartition([]int32{0, 1}, []int{0, 0}) {
+		t.Fatal("split vs merged accepted")
+	}
+	if SamePartition([]int32{0}, []int{0, 0}) {
+		t.Fatal("length mismatch accepted")
+	}
+	if !SamePartition([]int32{5, 5, 9}, []int{1, 1, 2}) {
+		t.Fatal("relabelled identical partition rejected")
+	}
+}
+
+func TestBFSDepthsMatchSequential(t *testing.T) {
+	for name, g := range testGraphs() {
+		got := BFS(g, 0, testOpts)
+		want := bfsRef(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: depth[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSGridDiameter(t *testing.T) {
+	// On a rows x cols grid from corner 0, the max depth is
+	// (rows-1)+(cols-1).
+	g := gen.Grid2D(30, 20, false, 1)
+	depth := BFS(g, 0, testOpts)
+	if ecc := Eccentricity(depth); ecc != 48 {
+		t.Fatalf("grid eccentricity = %d, want 48", ecc)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := gen.Components(2, 50, 6, 13) // two disjoint clusters
+	depth := BFS(g, 0, testOpts)
+	sawUnreachable := false
+	for v := 50; v < 100; v++ {
+		if depth[v] == -1 {
+			sawUnreachable = true
+		} else {
+			t.Fatalf("node %d in other component has depth %d", v, depth[v])
+		}
+	}
+	if !sawUnreachable {
+		t.Fatal("expected unreachable nodes")
+	}
+}
+
+// bfsRef is a simple sequential BFS oracle.
+func bfsRef(g *graph.Graph, src int) []int32 {
+	n := g.N()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(int(v)) {
+			if depth[u] == -1 {
+				depth[u] = depth[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return depth
+}
+
+func TestMSTBoruvkaMatchesKruskal(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		g := gen.ErdosRenyi(800, 8, true, seed)
+		want := seq.MSTKruskal(g)
+		got := MSTBoruvka(g, testOpts)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("seed %d: Boruvka %v != Kruskal %v", seed, got, want)
+		}
+	}
+}
+
+func TestMSTBoruvkaOnTreeAndGrid(t *testing.T) {
+	tree := gen.RandomTree(500, true, 7)
+	var treeTotal float64
+	tree.ForEdges(func(_, _ int, w float64) { treeTotal += w })
+	if got := MSTBoruvka(tree, testOpts); math.Abs(got-treeTotal) > 1e-9 {
+		t.Fatalf("tree MST = %v, want %v", got, treeTotal)
+	}
+	grid := gen.Grid2D(20, 20, true, 8)
+	want := seq.MSTKruskal(grid)
+	if got := MSTBoruvka(grid, testOpts); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("grid MST = %v, want %v", got, want)
+	}
+}
+
+func TestMSTBoruvkaDisconnected(t *testing.T) {
+	g := gen.Components(3, 100, 6, 21)
+	// Unweighted components graph: build a weighted version by reusing
+	// edges with weight 1; forest weight = n - #components.
+	edges := g.Edges()
+	wg := graph.MustBuild(g.N(), edges, true)
+	got := MSTBoruvka(wg, testOpts)
+	want := float64(g.N() - 3)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("forest weight = %v, want %v", got, want)
+	}
+}
+
+func TestMSTAcrossProcs(t *testing.T) {
+	g := gen.ErdosRenyi(600, 10, true, 31)
+	want := seq.MSTKruskal(g)
+	for _, p := range []int{1, 2, 8} {
+		got := MSTBoruvka(g, par.Options{Procs: p, Grain: 32})
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("procs=%d: %v != %v", p, got, want)
+		}
+	}
+}
+
+func TestGraphBuildErrors(t *testing.T) {
+	if _, err := graph.Build(2, []graph.Edge{{U: 0, V: 5}}, false); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := graph.MustBuild(3, []graph.Edge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1.5}}, true)
+	if g.N() != 3 || g.M() != 2 || !g.Weighted() {
+		t.Fatalf("summary: %v", g)
+	}
+	if g.Degree(1) != 2 || g.MaxDegree() != 2 {
+		t.Fatal("degrees wrong")
+	}
+	ws := g.NeighborWeights(0)
+	if len(ws) != 1 || ws[0] != 2.5 {
+		t.Fatalf("weights: %v", ws)
+	}
+	count := 0
+	var sum float64
+	g.ForEdges(func(u, v int, w float64) { count++; sum += w })
+	if count != 2 || sum != 4 {
+		t.Fatalf("ForEdges count=%d sum=%v", count, sum)
+	}
+	g.SortAdjacency()
+	nb := g.Neighbors(1)
+	if nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("sorted adjacency: %v", nb)
+	}
+}

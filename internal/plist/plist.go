@@ -1,0 +1,77 @@
+// Package plist implements the list-ranking case study: Wyllie's
+// pointer-jumping algorithm against the sequential pointer-chasing sweep.
+//
+// List ranking is the methodology's canonical example of a
+// *work-inefficient* parallel algorithm: pointer jumping performs
+// Θ(n log n) work versus the sweep's Θ(n), so on P processors it can win
+// only when P substantially exceeds log n — and the sequential sweep's
+// only weakness is memory latency on randomly laid-out lists. Experiment
+// E4 locates this crossover empirically; the PRAM model (machine.
+// ListRankWD) predicts it.
+package plist
+
+import (
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+// Rank returns each node's distance from the head (head = 0) using
+// synchronous pointer jumping with double buffering: every round halves
+// the remaining pointer distance, so ceil(log2 n) rounds suffice.
+func Rank(l *gen.List, opts par.Options) []int {
+	n := len(l.Next)
+	if n == 0 {
+		return nil
+	}
+	// dist[i] counts links from i to the tail; next doubles each round.
+	next := make([]int, n)
+	dist := make([]int, n)
+	par.For(n, opts, func(i int) {
+		next[i] = l.Next[i]
+		if l.Next[i] != i {
+			dist[i] = 1
+		}
+	})
+	next2 := make([]int, n)
+	dist2 := make([]int, n)
+	for {
+		changed := par.Count(n, opts, func(i int) bool {
+			if next[i] == i {
+				// Tail fixpoint: already fully ranked.
+				dist2[i] = dist[i]
+				next2[i] = i
+				return false
+			}
+			// Jump: accumulate the successor's distance and double the
+			// pointer. Reads go to the previous round's arrays only, so
+			// the round is a synchronous PRAM step with no races.
+			dist2[i] = dist[i] + dist[next[i]]
+			next2[i] = next[next[i]]
+			return next2[i] != next[i] || dist2[i] != dist[i]
+		})
+		next, next2 = next2, next
+		dist, dist2 = dist2, dist
+		if changed == 0 {
+			break
+		}
+	}
+	// dist is now distance-to-tail; convert to distance-from-head.
+	total := dist[l.Head]
+	ranks := make([]int, n)
+	par.For(n, opts, func(i int) { ranks[i] = total - dist[i] })
+	return ranks
+}
+
+// Jumps returns the number of pointer-jumping rounds Rank will perform on
+// a list of length n: ceil(log2(n-1)) + 1 for n > 1 (the extra round
+// detects the fixpoint). Exposed for the model-validation experiments.
+func Jumps(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	r := 0
+	for span := 1; span < n; span *= 2 {
+		r++
+	}
+	return r + 1
+}

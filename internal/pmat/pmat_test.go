@@ -1,0 +1,61 @@
+package pmat
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/seq"
+)
+
+func TestMulMatchesSequential(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {64, 64, 64}, {65, 33, 17}, {128, 100, 90}} {
+		a := gen.RandomMatrix(dims[0], dims[1], 1)
+		b := gen.RandomMatrix(dims[1], dims[2], 2)
+		want := seq.Matmul(a, b)
+		for _, block := range []int{0, 8, 16, 100} {
+			for _, p := range []int{1, 2, 4} {
+				got := Mul(a, b, Config{Block: block, Opts: par.Options{Procs: p, Grain: 1}})
+				if !got.Equal(want, 1e-9) {
+					t.Fatalf("dims=%v block=%d p=%d: mismatch", dims, block, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMulNaiveMatches(t *testing.T) {
+	a := gen.RandomMatrix(50, 70, 3)
+	b := gen.RandomMatrix(70, 40, 4)
+	want := seq.Matmul(a, b)
+	got := MulNaive(a, b, par.Options{Procs: 4, Grain: 1})
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("naive parallel mismatch")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := gen.RandomMatrix(31, 31, 5)
+	got := Mul(a, gen.Identity(31), Config{Block: 8, Opts: par.Options{Procs: 2, Grain: 1}})
+	if !got.Equal(a, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Mul(gen.NewMatrix(2, 3), gen.NewMatrix(4, 2), Config{})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).block() != DefaultBlock {
+		t.Fatal("default block")
+	}
+	if (Config{Block: 32}).block() != 32 {
+		t.Fatal("explicit block")
+	}
+}

@@ -1,0 +1,121 @@
+// Package psel implements the selection (k-th smallest) case study: a
+// parallel quickselect built from the library's own primitives —
+// parallel count to size the partitions, parallel pack to materialize
+// the surviving side — against the sequential in-place quickselect.
+//
+// Selection is the methodology's "reduction-heavy divide and conquer"
+// exhibit: unlike sorting, only one side of each partition survives, so
+// total work is expected O(n) and the parallel version's extra passes
+// (count + pack = 2 sweeps per round vs quickselect's 1) must be bought
+// back by parallel bandwidth. It is also the cleanest consumer of the
+// Pack primitive, which is why the case study exists: the methodology
+// says primitives earn their place by powering whole algorithms.
+package psel
+
+import (
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Select returns the k-th smallest element of xs (k is 0-based). It does
+// not modify xs. It panics if k is out of range.
+func Select(xs []int64, k int, opts par.Options) int64 {
+	if k < 0 || k >= len(xs) {
+		panic("psel: k out of range")
+	}
+	// Work on a copy at top level only; recursion packs into fresh
+	// slices anyway.
+	cur := xs
+	owned := false
+	r := rng.New(uint64(len(xs))*0x9E3779B9 + uint64(k) + 1)
+	for {
+		n := len(cur)
+		if n <= 4096 {
+			buf := cur
+			if !owned {
+				buf = append([]int64(nil), cur...)
+			}
+			return quickselect(buf, k)
+		}
+		pivot := medianOfRandom(cur, r)
+		less := par.Count(n, opts, func(i int) bool { return cur[i] < pivot })
+		equal := par.Count(n, opts, func(i int) bool { return cur[i] == pivot })
+		switch {
+		case k < less:
+			cur = par.Pack(cur, opts, func(v int64) bool { return v < pivot })
+			owned = true
+		case k < less+equal:
+			return pivot
+		default:
+			cur = par.Pack(cur, opts, func(v int64) bool { return v > pivot })
+			k -= less + equal
+			owned = true
+		}
+	}
+}
+
+// Median returns the lower median of xs.
+func Median(xs []int64, opts par.Options) int64 {
+	return Select(xs, (len(xs)-1)/2, opts)
+}
+
+// medianOfRandom picks the median of 9 random elements — cheap insurance
+// against adversarial pivots without a full median-of-medians pass.
+func medianOfRandom(xs []int64, r *rng.Rand) int64 {
+	var s [9]int64
+	for i := range s {
+		s[i] = xs[r.Intn(len(xs))]
+	}
+	// Insertion sort of 9 elements.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[4]
+}
+
+// quickselect is the sequential in-place baseline (Hoare partition with
+// random pivots). It mutates xs.
+func quickselect(xs []int64, k int) int64 {
+	r := rng.New(uint64(len(xs)) + 7)
+	lo, hi := 0, len(xs)-1
+	for {
+		if lo == hi {
+			return xs[lo]
+		}
+		p := xs[lo+r.Intn(hi-lo+1)]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+}
+
+// SelectSeq is the exported sequential baseline: k-th smallest without
+// parallel primitives (copies xs, then in-place quickselect).
+func SelectSeq(xs []int64, k int) int64 {
+	if k < 0 || k >= len(xs) {
+		panic("psel: k out of range")
+	}
+	buf := append([]int64(nil), xs...)
+	return quickselect(buf, k)
+}

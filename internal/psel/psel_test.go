@@ -1,0 +1,118 @@
+package psel
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+var opts = par.Options{Procs: 4, Grain: 64}
+
+func TestSelectMatchesSort(t *testing.T) {
+	for _, d := range gen.Distributions {
+		xs := gen.Ints(20000, d, 3)
+		sorted := append([]int64(nil), xs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, k := range []int{0, 1, 100, 9999, 19998, 19999} {
+			if got := Select(xs, k, opts); got != sorted[k] {
+				t.Fatalf("%v k=%d: Select = %d, want %d", d, k, got, sorted[k])
+			}
+			if got := SelectSeq(xs, k); got != sorted[k] {
+				t.Fatalf("%v k=%d: SelectSeq = %d, want %d", d, k, got, sorted[k])
+			}
+		}
+	}
+}
+
+func TestSelectDoesNotMutate(t *testing.T) {
+	xs := gen.Ints(10000, gen.Uniform, 5)
+	before := append([]int64(nil), xs...)
+	Select(xs, 5000, opts)
+	SelectSeq(xs, 5000)
+	for i := range before {
+		if xs[i] != before[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	xs := []int64{5, 1, 9, 3, 7}
+	if got := Median(xs, opts); got != 5 {
+		t.Fatalf("Median = %d", got)
+	}
+	even := []int64{4, 1, 3, 2}
+	if got := Median(even, opts); got != 2 { // lower median
+		t.Fatalf("even Median = %d", got)
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for k=%d", k)
+				}
+			}()
+			Select([]int64{1, 2, 3}, k, opts)
+		}()
+	}
+}
+
+func TestSelectSmallSlices(t *testing.T) {
+	if Select([]int64{42}, 0, opts) != 42 {
+		t.Fatal("singleton")
+	}
+	if Select([]int64{2, 1}, 0, opts) != 1 || Select([]int64{2, 1}, 1, opts) != 2 {
+		t.Fatal("pair")
+	}
+}
+
+func TestSelectManyDuplicates(t *testing.T) {
+	xs := make([]int64, 50000)
+	for i := range xs {
+		xs[i] = int64(i % 3)
+	}
+	// 0 repeated ~16667 times, etc.
+	if got := Select(xs, 0, opts); got != 0 {
+		t.Fatalf("k=0: %d", got)
+	}
+	if got := Select(xs, 20000, opts); got != 1 {
+		t.Fatalf("k=20000: %d", got)
+	}
+	if got := Select(xs, 49999, opts); got != 2 {
+		t.Fatalf("k max: %d", got)
+	}
+}
+
+func TestSelectQuick(t *testing.T) {
+	f := func(raw []int64, kSeed uint16, procs uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kSeed) % len(raw)
+		sorted := append([]int64(nil), raw...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		got := Select(raw, k, par.Options{Procs: int(procs%8) + 1, Grain: 8})
+		return got == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectLargeCrossesParallelPath(t *testing.T) {
+	// Above the 4096 cutoff the parallel count/pack path runs.
+	xs := gen.Ints(1<<17, gen.Zipf, 11)
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, k := range []int{0, 1 << 16, 1<<17 - 1} {
+		if got := Select(xs, k, opts); got != sorted[k] {
+			t.Fatalf("k=%d: %d != %d", k, got, sorted[k])
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package psort
+
+import "runtime"
+
+// defaultProcs returns the default worker count (GOMAXPROCS).
+func defaultProcs() int { return runtime.GOMAXPROCS(0) }

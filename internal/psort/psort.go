@@ -1,0 +1,301 @@
+// Package psort implements the parallel sorting case study: sample sort,
+// parallel merge sort, and parallel LSD radix sort, each engineered
+// against the sequential baselines in internal/seq.
+//
+// The three algorithms span the design space the methodology explores:
+//
+//   - Sample sort is the classic distribution sort for parallel machines:
+//     splitter selection makes bucket sizes even with high probability, so
+//     the final per-bucket sorts are balanced and independent.
+//   - Parallel merge sort is the work-efficient fork/join comparison sort;
+//     its merges become parallel (merge-path) near the root where only a
+//     few large runs remain.
+//   - Radix sort is the non-comparison contender: O(n · 64/r) work, but
+//     each pass is a full memory shuffle, so it wins only when keys are
+//     short or memory bandwidth is plentiful.
+//
+// Experiments E2 and E3 compare them across input distributions and
+// processor counts.
+package psort
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+// oversample is the number of random samples drawn per splitter; larger
+// values even out bucket sizes at the cost of splitter-selection time.
+const oversample = 32
+
+// SampleSort sorts xs in place using opts.Procs workers.
+func SampleSort(xs []int64, opts par.Options) {
+	n := len(xs)
+	p := workers(opts, n)
+	if p == 1 || n < 2048 {
+		seq.Quicksort(xs)
+		return
+	}
+	// 1. Splitter selection: sort a random sample, take p-1 regular
+	// splitters. Deterministic seed keeps runs reproducible.
+	r := rng.New(uint64(n)*0x9E3779B9 + uint64(p))
+	sample := make([]int64, p*oversample)
+	for i := range sample {
+		sample[i] = xs[r.Intn(n)]
+	}
+	seq.Quicksort(sample)
+	splitters := make([]int64, p-1)
+	for i := 1; i < p; i++ {
+		splitters[i-1] = sample[i*oversample]
+	}
+
+	// 2. Count phase: each worker histograms its block over the buckets.
+	counts := make([][]int, p) // counts[worker][bucket]
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := make([]int, p)
+			for i := lo; i < hi; i++ {
+				c[bucketOf(xs[i], splitters)]++
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// 3. Placement: exclusive scan in (bucket-major, worker-minor) order
+	// gives every (worker, bucket) pair a disjoint output range, making
+	// the scatter phase write-race-free and stable.
+	offsets := make([][]int, p)
+	for w := range offsets {
+		offsets[w] = make([]int, p)
+	}
+	pos := 0
+	bucketStart := make([]int, p+1)
+	for b := 0; b < p; b++ {
+		bucketStart[b] = pos
+		for w := 0; w < p; w++ {
+			offsets[w][b] = pos
+			pos += counts[w][b]
+		}
+	}
+	bucketStart[p] = pos
+
+	// 4. Scatter into a scratch buffer.
+	buf := make([]int64, n)
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			off := offsets[w]
+			for i := lo; i < hi; i++ {
+				b := bucketOf(xs[i], splitters)
+				buf[off[b]] = xs[i]
+				off[b]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// 5. Per-bucket sorts, dynamically scheduled: bucket sizes vary, so
+	// dynamic scheduling absorbs the residual imbalance.
+	par.For(p, par.Options{Procs: p, Policy: par.Dynamic, Grain: 1}, func(b int) {
+		seq.Quicksort(buf[bucketStart[b]:bucketStart[b+1]])
+	})
+	copy(xs, buf)
+}
+
+// bucketOf returns the index of the first splitter greater than v (binary
+// search), i.e. the destination bucket.
+func bucketOf(v int64, splitters []int64) int {
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < splitters[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// MergeSort sorts xs in place with a fork/join merge sort whose merges
+// use the parallel merge-path primitive. grain below which it falls back
+// to the sequential quicksort is taken from opts.Grain (default 4096).
+func MergeSort(xs []int64, opts par.Options) {
+	n := len(xs)
+	p := workers(opts, n)
+	grain := opts.Grain
+	if grain <= 0 {
+		grain = 4096
+	}
+	if p == 1 || n <= grain {
+		seq.Quicksort(xs)
+		return
+	}
+	buf := make([]int64, n)
+	mergeSortRec(xs, buf, p, grain)
+}
+
+// mergeSortRec sorts xs using buf as scratch; result lands in xs.
+// procs is the parallelism budget for this subtree.
+func mergeSortRec(xs, buf []int64, procs, grain int) {
+	n := len(xs)
+	if procs <= 1 || n <= grain {
+		seq.Quicksort(xs)
+		return
+	}
+	mid := n / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mergeSortRec(xs[:mid], buf[:mid], procs/2, grain)
+	}()
+	mergeSortRec(xs[mid:], buf[mid:], procs-procs/2, grain)
+	wg.Wait()
+	// Parallel stable merge into buf, then copy back.
+	par.Merge(buf, xs[:mid], xs[mid:], par.Options{Procs: procs, Grain: grain},
+		func(a, b int64) bool { return a < b })
+	copyParallel(xs, buf, procs)
+}
+
+func copyParallel(dst, src []int64, procs int) {
+	par.ForRange(len(src), par.Options{Procs: procs, Grain: 1 << 16}, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// RadixSort sorts xs in place with a parallel LSD radix sort using 8-bit
+// digits. Each pass histograms per worker, computes (digit-major,
+// worker-minor) offsets so the scatter is stable and race-free, then
+// scatters — the same count/scan/scatter skeleton as sample sort, which
+// is why the methodology treats "counting + prefix sums + scatter" as the
+// fundamental parallel pattern.
+func RadixSort(xs []int64, opts par.Options) {
+	n := len(xs)
+	p := workers(opts, n)
+	if p == 1 || n < 2048 {
+		seq.RadixSort(xs)
+		return
+	}
+	const bits = 8
+	const buckets = 1 << bits
+	const mask = buckets - 1
+	buf := make([]int64, n)
+	src, dst := xs, buf
+	counts := make([][]int, p)
+	for w := range counts {
+		counts[w] = make([]int, buckets)
+	}
+	for shift := 0; shift < 64; shift += bits {
+		// Count phase.
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			lo, hi := w*n/p, (w+1)*n/p
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				c := counts[w]
+				for b := range c {
+					c[b] = 0
+				}
+				for i := lo; i < hi; i++ {
+					c[(flip(src[i])>>shift)&mask]++
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Skip degenerate passes (all keys share the digit).
+		first := (flip(src[0]) >> shift) & mask
+		allSame := true
+		for w := 0; w < p && allSame; w++ {
+			for b := 0; b < buckets; b++ {
+				if counts[w][b] != 0 && uint64(b) != first {
+					allSame = false
+					break
+				}
+			}
+		}
+		if allSame {
+			continue
+		}
+		// Offsets: digit-major, worker-minor exclusive scan.
+		pos := 0
+		for b := 0; b < buckets; b++ {
+			for w := 0; w < p; w++ {
+				counts[w][b], pos = pos, pos+counts[w][b]
+			}
+		}
+		// Scatter phase.
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			lo, hi := w*n/p, (w+1)*n/p
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				off := counts[w]
+				for i := lo; i < hi; i++ {
+					b := (flip(src[i]) >> shift) & mask
+					dst[off[b]] = src[i]
+					off[b]++
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}
+
+func flip(v int64) uint64 { return uint64(v) ^ (1 << 63) }
+
+// IsSortedParallel verifies order with a parallel reduction; used by the
+// harness to validate outputs without serial bottleneck.
+func IsSortedParallel(xs []int64, opts par.Options) bool {
+	if len(xs) < 2 {
+		return true
+	}
+	violations := par.Count(len(xs)-1, opts, func(i int) bool { return xs[i] > xs[i+1] })
+	return violations == 0
+}
+
+// Sorter names one sorting implementation for the experiment tables.
+type Sorter struct {
+	Name string
+	Sort func(xs []int64, opts par.Options)
+}
+
+// Sorters lists the parallel sorters plus sequential baselines, in the
+// row order of experiment E2.
+var Sorters = []Sorter{
+	{"seq-quicksort", func(xs []int64, _ par.Options) { seq.Quicksort(xs) }},
+	{"seq-mergesort", func(xs []int64, _ par.Options) { seq.Mergesort(xs) }},
+	{"seq-radix", func(xs []int64, _ par.Options) { seq.RadixSort(xs) }},
+	{"samplesort", SampleSort},
+	{"mergesort", MergeSort},
+	{"radix", RadixSort},
+	{"stdlib", func(xs []int64, _ par.Options) {
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	}},
+}
+
+func workers(opts par.Options, n int) int {
+	p := opts.Procs
+	if p <= 0 {
+		p = defaultProcs()
+	}
+	if p > n && n > 0 {
+		p = n
+	}
+	return p
+}

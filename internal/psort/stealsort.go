@@ -1,0 +1,89 @@
+package psort
+
+import (
+	"repro/internal/sched"
+	"repro/internal/seq"
+)
+
+// QuickSortSteal sorts xs in place using fork/join quicksort on a
+// work-stealing pool: partition, then spawn both sides as tasks. No join
+// is needed — partition-exchange quicksort is in-place and each subtask
+// owns a disjoint slice, so the sort is complete exactly when the pool's
+// task count drains to zero.
+//
+// This is the task-parallel counterpart of the loop-parallel sorters:
+// recursion trees from quicksort's uneven partitions are precisely the
+// irregular workloads work stealing exists for (experiment E12's
+// companion in the sorting domain).
+func QuickSortSteal(xs []int64, pool *sched.Pool) {
+	if len(xs) < 2 {
+		return
+	}
+	grain := len(xs) / (8 * pool.Procs())
+	if grain < 4096 {
+		grain = 4096
+	}
+	var sortTask func(s []int64) sched.Task
+	sortTask = func(s []int64) sched.Task {
+		return func(w *sched.Worker) {
+			for len(s) > grain {
+				p := hoarePartition(s)
+				// Spawn the smaller side; continue with the larger —
+				// bounds spawned-task count while keeping the deque
+				// stocked for thieves.
+				if p < len(s)-p {
+					w.Spawn(sortTask(s[:p]))
+					s = s[p:]
+				} else {
+					w.Spawn(sortTask(s[p:]))
+					s = s[:p]
+				}
+			}
+			seq.Quicksort(s)
+		}
+	}
+	pool.Run(sortTask(xs))
+}
+
+// hoarePartition partitions s with the classic Hoare scheme (pivot moved
+// to s[0], median of three) and returns the split index p: every element
+// of s[:p] is <= every element of s[p:], with 0 < p < len(s) guaranteed
+// for len(s) >= 2 — the guarantee that makes the recursion terminate on
+// any input, including all-equal keys.
+func hoarePartition(s []int64) int {
+	n := len(s)
+	// Move the median of {first, middle, last} to s[0] as the pivot.
+	mid := n / 2
+	if s[mid] < s[0] {
+		s[mid], s[0] = s[0], s[mid]
+	}
+	if s[n-1] < s[0] {
+		s[n-1], s[0] = s[0], s[n-1]
+	}
+	if s[mid] < s[n-1] {
+		s[mid], s[n-1] = s[n-1], s[mid]
+	}
+	s[0], s[n-1] = s[n-1], s[0] // median now at s[0]
+	pivot := s[0]
+	i, j := -1, n
+	for {
+		for {
+			i++
+			if s[i] >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if s[j] <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			// Hoare invariant with pivot == s[0]: 0 <= j < n-1, so the
+			// split p = j+1 is interior.
+			return j + 1
+		}
+		s[i], s[j] = s[j], s[i]
+	}
+}

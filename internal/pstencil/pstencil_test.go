@@ -1,0 +1,83 @@
+package pstencil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/seq"
+)
+
+func TestJacobiMatchesSequential(t *testing.T) {
+	for _, n := range []int{4, 9, 33, 64} {
+		for _, iters := range []int{0, 1, 7, 50} {
+			for _, p := range []int{1, 2, 4} {
+				g := gen.HotPlateGrid(n)
+				want := seq.Jacobi(g, iters)
+				got := Jacobi(g, iters, par.Options{Procs: p, Grain: 1})
+				for i := range want.Data {
+					if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+						t.Fatalf("n=%d iters=%d p=%d: cell %d differs", n, iters, p, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestJacobiPreservesBoundary(t *testing.T) {
+	g := gen.HotPlateGrid(17)
+	out := Jacobi(g, 100, par.Options{Procs: 4, Grain: 1})
+	for j := 0; j < 17; j++ {
+		if out.At(0, j) != 100 {
+			t.Fatalf("top boundary changed at %d", j)
+		}
+		if out.At(16, j) != 0 {
+			t.Fatalf("bottom boundary changed at %d", j)
+		}
+	}
+}
+
+func TestJacobiInputUntouched(t *testing.T) {
+	g := gen.HotPlateGrid(9)
+	before := append([]float64(nil), g.Data...)
+	Jacobi(g, 10, par.Options{Procs: 2})
+	for i := range before {
+		if g.Data[i] != before[i] {
+			t.Fatal("Jacobi mutated its input grid")
+		}
+	}
+}
+
+func TestJacobiToConvergence(t *testing.T) {
+	g := gen.HotPlateGrid(17)
+	out, iters := JacobiToConvergence(g, 1e-7, 100000, par.Options{Procs: 4, Grain: 1})
+	if iters >= 100000 {
+		t.Fatal("did not converge")
+	}
+	// Converged solution of the discrete Laplace problem: center ~25.
+	if math.Abs(out.At(8, 8)-25) > 1 {
+		t.Fatalf("center = %v, want ~25", out.At(8, 8))
+	}
+	// Tighter tolerance must not take fewer iterations.
+	_, iters2 := JacobiToConvergence(g, 1e-9, 100000, par.Options{Procs: 4, Grain: 1})
+	if iters2 < iters {
+		t.Fatalf("tighter tolerance converged faster: %d < %d", iters2, iters)
+	}
+}
+
+func TestJacobiMaximumPrinciple(t *testing.T) {
+	// Interior values must stay within boundary extremes (discrete
+	// maximum principle for the Laplace operator).
+	g := gen.HotPlateGrid(21)
+	out := Jacobi(g, 500, par.Options{Procs: 4, Grain: 1})
+	for i := 1; i < 20; i++ {
+		for j := 1; j < 20; j++ {
+			v := out.At(i, j)
+			if v < 0 || v > 100 {
+				t.Fatalf("cell (%d,%d) = %v violates maximum principle", i, j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package pstencil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+func TestGaussSeidelRBConverges(t *testing.T) {
+	g := gen.HotPlateGrid(33)
+	out, iters := GaussSeidelRBToConvergence(g, 1e-8, 100000, par.Options{Procs: 4, Grain: 1})
+	if iters >= 100000 {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(out.At(16, 16)-25) > 1 {
+		t.Fatalf("center = %v, want ~25", out.At(16, 16))
+	}
+}
+
+func TestGaussSeidelConvergesFasterThanJacobi(t *testing.T) {
+	// The headline property: red-black Gauss–Seidel needs roughly half
+	// the sweeps of Jacobi to the same tolerance.
+	g := gen.HotPlateGrid(33)
+	opts := par.Options{Procs: 2, Grain: 4}
+	_, jIters := JacobiToConvergence(g, 1e-6, 100000, opts)
+	_, gsIters := GaussSeidelRBToConvergence(g, 1e-6, 100000, opts)
+	if gsIters >= jIters {
+		t.Fatalf("Gauss-Seidel (%d sweeps) not faster than Jacobi (%d)", gsIters, jIters)
+	}
+	if float64(gsIters) > 0.7*float64(jIters) {
+		t.Fatalf("Gauss-Seidel %d sweeps vs Jacobi %d: expected ~2x gain", gsIters, jIters)
+	}
+}
+
+func TestGaussSeidelRBMatchesSequentialOrder(t *testing.T) {
+	// The red-black update order is deterministic regardless of worker
+	// count (all cells of one color are independent).
+	g := gen.HotPlateGrid(17)
+	a := GaussSeidelRB(g, 25, par.Options{Procs: 1})
+	b := GaussSeidelRB(g, 25, par.Options{Procs: 8, Grain: 1})
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-14 {
+			t.Fatalf("worker count changed result at cell %d", i)
+		}
+	}
+}
+
+func TestGaussSeidelRBBoundaryFixed(t *testing.T) {
+	g := gen.HotPlateGrid(9)
+	out := GaussSeidelRB(g, 50, par.Options{Procs: 4, Grain: 1})
+	for j := 0; j < 9; j++ {
+		if out.At(0, j) != 100 || out.At(8, j) != 0 {
+			t.Fatal("boundary modified")
+		}
+	}
+	// Input untouched.
+	if g.At(4, 4) != 0 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestGaussSeidelSameFixpointAsJacobi(t *testing.T) {
+	// Both methods solve the same linear system; converged solutions
+	// must agree.
+	g := gen.HotPlateGrid(17)
+	opts := par.Options{Procs: 4, Grain: 2}
+	ja, _ := JacobiToConvergence(g, 1e-10, 200000, opts)
+	gs, _ := GaussSeidelRBToConvergence(g, 1e-10, 200000, opts)
+	for i := range ja.Data {
+		if math.Abs(ja.Data[i]-gs.Data[i]) > 1e-5 {
+			t.Fatalf("fixpoints differ at cell %d: %v vs %v", i, ja.Data[i], gs.Data[i])
+		}
+	}
+}

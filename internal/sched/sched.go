@@ -1,0 +1,209 @@
+// Package sched implements a work-stealing fork/join task scheduler.
+//
+// Loop-level primitives (package par) cover regular, counted iteration
+// spaces. Irregular computations — recursive decompositions whose subtask
+// sizes are unknown in advance (tree algorithms, divide and conquer on
+// skewed data) — need dynamic task parallelism instead. The classic
+// engineering answer is work stealing (Blumofe & Leiserson 1999): each
+// worker owns a double-ended queue, pushes and pops spawned tasks at the
+// bottom (LIFO, for locality), and steals from the top of a random
+// victim's deque when its own is empty (FIFO, stealing the largest
+// remaining subtrees).
+//
+// Experiment E12 compares this scheduler against static loop
+// parallelization on irregular task trees.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Task is a unit of work. Tasks may spawn further tasks through the
+// *Worker passed to them.
+type Task func(w *Worker)
+
+// Pool is a work-stealing scheduler with a fixed number of workers.
+// Create with NewPool; a Pool may execute many rounds of work via Run.
+type Pool struct {
+	workers []*Worker
+	procs   int
+
+	// Termination detection: count of in-flight (queued or executing)
+	// tasks. When it reaches zero, the round is over.
+	inflight atomic.Int64
+	done     chan struct{}
+
+	// Steal statistics for the experiment harness.
+	steals   atomic.Int64
+	attempts atomic.Int64
+}
+
+// Worker is one scheduler thread's context. Tasks receive their worker so
+// spawns go to the local deque without synchronization on the happy path.
+type Worker struct {
+	pool  *Pool
+	id    int
+	deque *deque
+	rnd   *rng.Rand
+}
+
+// ID returns the worker's index in [0, Procs).
+func (w *Worker) ID() int { return w.id }
+
+// NewPool creates a scheduler with procs workers (<= 0 means 1).
+func NewPool(procs int) *Pool {
+	if procs <= 0 {
+		procs = 1
+	}
+	p := &Pool{procs: procs}
+	p.workers = make([]*Worker, procs)
+	for i := range p.workers {
+		p.workers[i] = &Worker{
+			pool:  p,
+			id:    i,
+			deque: newDeque(),
+			rnd:   rng.New(uint64(0x5eed + i)),
+		}
+	}
+	return p
+}
+
+// Procs returns the number of workers.
+func (p *Pool) Procs() int { return p.procs }
+
+// Steals returns the number of successful steals in the last Run.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// StealAttempts returns the number of steal attempts in the last Run.
+func (p *Pool) StealAttempts() int64 { return p.attempts.Load() }
+
+// Spawn enqueues a child task on this worker's own deque.
+func (w *Worker) Spawn(t Task) {
+	w.pool.inflight.Add(1)
+	w.deque.pushBottom(t)
+}
+
+// Run executes root and everything it transitively spawns, returning when
+// all tasks have completed. Run must not be called concurrently with
+// itself on the same Pool.
+func (p *Pool) Run(root Task) {
+	p.steals.Store(0)
+	p.attempts.Store(0)
+	p.done = make(chan struct{})
+	p.inflight.Store(1)
+	p.workers[0].deque.pushBottom(root)
+
+	var wg sync.WaitGroup
+	wg.Add(p.procs)
+	for _, w := range p.workers {
+		go func(w *Worker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// loop is the worker scheduling loop: run local work; steal when empty;
+// exit when the round's inflight count reaches zero.
+func (w *Worker) loop() {
+	p := w.pool
+	for {
+		// Drain local deque.
+		for {
+			t, ok := w.deque.popBottom()
+			if !ok {
+				break
+			}
+			w.exec(t)
+		}
+		// Local deque empty: try to steal.
+		if p.inflight.Load() == 0 {
+			return
+		}
+		if t, ok := w.steal(); ok {
+			w.exec(t)
+			continue
+		}
+		// Nothing to steal right now. Yield the processor and retry
+		// until either work appears or the round terminates.
+		if p.inflight.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func (w *Worker) exec(t Task) {
+	t(w)
+	w.pool.inflight.Add(-1)
+}
+
+// steal picks random victims until one yields a task or all are empty.
+func (w *Worker) steal() (Task, bool) {
+	p := w.pool
+	n := len(p.workers)
+	if n == 1 {
+		return nil, false
+	}
+	start := w.rnd.Intn(n)
+	for k := 0; k < n; k++ {
+		v := p.workers[(start+k)%n]
+		if v == w {
+			continue
+		}
+		p.attempts.Add(1)
+		if t, ok := v.deque.stealTop(); ok {
+			p.steals.Add(1)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// deque is a mutex-protected double-ended task queue. A lock-free
+// Chase–Lev deque would shave constants, but the mutex version is correct
+// by construction, contention is low (steals are rare when grain size is
+// right — exactly what E12 measures), and the engineering methodology
+// prefers the simplest implementation that meets the performance model.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func newDeque() *deque { return &deque{} }
+
+func (d *deque) pushBottom(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+func (d *deque) stealTop() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t, true
+}

@@ -1,0 +1,275 @@
+package seq
+
+import (
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Scan computes inclusive prefix sums sequentially: the n-operation
+// baseline against which the 2n-operation parallel scan must win.
+func Scan(dst, xs []int64) {
+	var acc int64
+	for i, x := range xs {
+		acc += x
+		dst[i] = acc
+	}
+}
+
+// ListRank computes ranks by a single pointer-chasing sweep: O(n) work,
+// inherently sequential (each step depends on the previous), memory-bound
+// on randomly laid-out lists.
+func ListRank(l *gen.List) []int {
+	ranks := make([]int, len(l.Next))
+	v, d := l.Head, 0
+	for {
+		ranks[v] = d
+		n := l.Next[v]
+		if n == v {
+			break
+		}
+		v = n
+		d++
+	}
+	return ranks
+}
+
+// ConnectedComponentsBFS labels components with a queue-based BFS, the
+// textbook sequential baseline for connectivity.
+func ConnectedComponentsBFS(g *graph.Graph) []int {
+	n := g.N()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	next := 0
+	for s := 0; s < n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		label[s] = next
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(int(v)) {
+				if label[w] == -1 {
+					label[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return label
+}
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression, shared by the sequential CC and Kruskal baselines.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	r := int32(x)
+	for u.parent[r] != r {
+		r = u.parent[r]
+	}
+	// Path compression.
+	for c := int32(x); c != r; {
+		c, u.parent[c] = u.parent[c], r
+	}
+	return int(r)
+}
+
+// Union merges the sets of x and y; it returns false if already joined.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := int32(u.Find(x)), int32(u.Find(y))
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	return true
+}
+
+// ConnectedComponentsUF labels components using union-find over the edge
+// list — often the fastest sequential connectivity algorithm in practice.
+func ConnectedComponentsUF(g *graph.Graph) []int {
+	n := g.N()
+	u := NewUnionFind(n)
+	g.ForEdges(func(a, b int, _ float64) { u.Union(a, b) })
+	label := make([]int, n)
+	remap := map[int]int{}
+	for v := 0; v < n; v++ {
+		r := u.Find(v)
+		id, ok := remap[r]
+		if !ok {
+			id = len(remap)
+			remap[r] = id
+		}
+		label[v] = id
+	}
+	return label
+}
+
+// MSTKruskal returns the total weight of a minimum spanning forest via
+// Kruskal's algorithm (sort all edges, union-find).
+func MSTKruskal(g *graph.Graph) float64 {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].W < edges[j].W })
+	u := NewUnionFind(g.N())
+	total := 0.0
+	for _, e := range edges {
+		if u.Union(e.U, e.V) {
+			total += e.W
+		}
+	}
+	return total
+}
+
+// MSTPrim returns the total weight of a minimum spanning forest via
+// Prim's algorithm with a binary heap, run from every unvisited node.
+func MSTPrim(g *graph.Graph) float64 {
+	n := g.N()
+	visited := make([]bool, n)
+	total := 0.0
+	h := &edgeHeap{}
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		h.items = h.items[:0]
+		pushNeighbors(g, s, visited, h)
+		for len(h.items) > 0 {
+			e := h.pop()
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			total += e.w
+			pushNeighbors(g, e.to, visited, h)
+		}
+	}
+	return total
+}
+
+type heapEdge struct {
+	w  float64
+	to int
+}
+
+// edgeHeap is a minimal binary min-heap on edge weight (avoiding
+// container/heap interface overhead in the hot loop).
+type edgeHeap struct{ items []heapEdge }
+
+func (h *edgeHeap) push(e heapEdge) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].w <= h.items[i].w {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *edgeHeap) pop() heapEdge {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.items[l].w < h.items[s].w {
+			s = l
+		}
+		if r < last && h.items[r].w < h.items[s].w {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.items[i], h.items[s] = h.items[s], h.items[i]
+		i = s
+	}
+	return top
+}
+
+func pushNeighbors(g *graph.Graph, v int, visited []bool, h *edgeHeap) {
+	ws := g.NeighborWeights(v)
+	for i, u := range g.Neighbors(v) {
+		if !visited[u] {
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			h.push(heapEdge{w: w, to: int(u)})
+		}
+	}
+}
+
+// Matmul computes C = A*B with the naive triple loop in ikj order (the
+// cache-aware loop order); baseline for the blocked parallel kernel.
+func Matmul(a, b *gen.Matrix) *gen.Matrix {
+	if a.Cols != b.Rows {
+		panic("seq: Matmul dimension mismatch")
+	}
+	c := gen.NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			brow := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// Jacobi runs iters sweeps of the 5-point Jacobi stencil on g, returning
+// the final grid. Boundary cells are Dirichlet (held fixed).
+func Jacobi(g *gen.Grid, iters int) *gen.Grid {
+	cur := g.Clone()
+	next := g.Clone()
+	n := g.N
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			up := cur.Data[(i-1)*n:]
+			mid := cur.Data[i*n:]
+			down := cur.Data[(i+1)*n:]
+			out := next.Data[i*n:]
+			for j := 1; j < n-1; j++ {
+				out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

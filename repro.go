@@ -1,0 +1,162 @@
+// Package repro is a Go reproduction of "Engineering Parallel Algorithms"
+// (HPDC 1996): a parallel algorithm engineering toolkit — scheduling
+// primitives, abstract machine models, a simulated BSP machine, workload
+// generators and an experiment harness — together with the classic
+// case-study kernels (scan, sorting, list ranking, graph connectivity,
+// MST, matmul, stencil) engineered against sequential baselines.
+//
+// This top-level package is a thin facade over the internal packages so
+// downstream users get one import path for the common operations; the
+// full surface lives in internal/* and is documented there. See README.md
+// for a tour and DESIGN.md for the system inventory.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/perf"
+	"repro/internal/pgraph"
+	"repro/internal/plist"
+	"repro/internal/pmat"
+	"repro/internal/psel"
+	"repro/internal/psort"
+	"repro/internal/pstencil"
+	"repro/internal/seq"
+)
+
+// Re-exported types. Aliases keep the facade zero-cost: values flow to
+// and from the internal packages without conversion.
+type (
+	// Options configures parallel primitives (workers, schedule, grain).
+	Options = par.Options
+	// Policy selects a loop schedule (Static, Cyclic, Dynamic, Guided).
+	Policy = par.Policy
+	// Graph is a CSR undirected graph.
+	Graph = graph.Graph
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// List is an array-embedded linked list for list ranking.
+	List = gen.List
+	// Matrix is a dense row-major matrix.
+	Matrix = gen.Matrix
+	// Grid is a square scalar field for stencil kernels.
+	Grid = gen.Grid
+	// WorkDepth is a PRAM work/span cost.
+	WorkDepth = machine.WorkDepth
+	// BSPParams are Bulk-Synchronous Parallel machine parameters.
+	BSPParams = machine.BSPParams
+	// Table is an experiment result table.
+	Table = perf.Table
+	// ExperimentConfig scales the experiment suite.
+	ExperimentConfig = core.Config
+)
+
+// Scheduling policies.
+const (
+	Static  = par.Static
+	Cyclic  = par.Cyclic
+	Dynamic = par.Dynamic
+	Guided  = par.Guided
+)
+
+// For executes body(i) for i in [0, n) in parallel.
+func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }
+
+// Sum computes a parallel sum of xs.
+func Sum(xs []int64, opts Options) int64 { return par.Sum(xs, opts) }
+
+// ScanInclusive computes parallel inclusive prefix sums of xs into dst.
+func ScanInclusive(dst, xs []int64, opts Options) {
+	par.ScanInclusive(dst, xs, opts, 0, func(a, b int64) int64 { return a + b })
+}
+
+// Sort sorts xs in place with parallel sample sort.
+func Sort(xs []int64, opts Options) { psort.SampleSort(xs, opts) }
+
+// MergeSort sorts xs in place with parallel merge sort.
+func MergeSort(xs []int64, opts Options) { psort.MergeSort(xs, opts) }
+
+// RadixSort sorts xs in place with parallel LSD radix sort.
+func RadixSort(xs []int64, opts Options) { psort.RadixSort(xs, opts) }
+
+// ListRank returns each node's distance from the list head via parallel
+// pointer jumping.
+func ListRank(l *List, opts Options) []int { return plist.Rank(l, opts) }
+
+// ConnectedComponents labels the components of g (hook-and-shortcut).
+func ConnectedComponents(g *Graph, opts Options) []int32 { return pgraph.CCHook(g, opts) }
+
+// BFS returns hop distances from src (-1 when unreachable).
+func BFS(g *Graph, src int, opts Options) []int32 { return pgraph.BFS(g, src, opts) }
+
+// MSTWeight returns the weight of a minimum spanning forest (Borůvka).
+func MSTWeight(g *Graph, opts Options) float64 { return pgraph.MSTBoruvka(g, opts) }
+
+// MatMul multiplies dense matrices with the blocked parallel kernel.
+func MatMul(a, b *Matrix, opts Options) *Matrix {
+	return pmat.Mul(a, b, pmat.Config{Opts: opts})
+}
+
+// Jacobi runs iters parallel 5-point stencil sweeps and returns the
+// resulting grid.
+func Jacobi(g *Grid, iters int, opts Options) *Grid { return pstencil.Jacobi(g, iters, opts) }
+
+// SequentialSort is the engineered sequential baseline (for comparisons).
+func SequentialSort(xs []int64) { seq.Quicksort(xs) }
+
+// Select returns the k-th smallest element of xs (0-based) without
+// modifying xs, using the parallel count/pack quickselect.
+func Select(xs []int64, k int, opts Options) int64 { return psel.Select(xs, k, opts) }
+
+// PageRank computes damped PageRank on an undirected graph; see
+// internal/pgraph for the full knobs.
+func PageRank(g *Graph, opts Options) []float64 {
+	return pgraph.PageRank(g, 0.85, 1e-9, 500, opts).Ranks
+}
+
+// TriangleCount returns the number of triangles in a simple graph.
+func TriangleCount(g *Graph, opts Options) int64 { return pgraph.TriangleCount(g, opts) }
+
+// Workload generators (see internal/gen for the full set).
+
+// RandomInts generates n uniformly random keys from seed.
+func RandomInts(n int, seed uint64) []int64 { return gen.Ints(n, gen.Uniform, seed) }
+
+// RandomGraph generates an Erdős–Rényi graph with average degree avgDeg.
+func RandomGraph(n int, avgDeg float64, weighted bool, seed uint64) *Graph {
+	return gen.ErdosRenyi(n, avgDeg, weighted, seed)
+}
+
+// PowerLawGraph generates an R-MAT graph with 2^scale nodes.
+func PowerLawGraph(scale, edgeFactor int, weighted bool, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, weighted, seed)
+}
+
+// RandomLinkedList generates a randomly laid-out linked list of n nodes.
+func RandomLinkedList(n int, seed uint64) *List { return gen.RandomList(n, seed) }
+
+// RunExperiment regenerates one table/figure of the evaluation (ids
+// "E1".."E18") and writes it to w. It reports whether the id exists.
+func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) bool {
+	e, ok := core.ByID(id)
+	if !ok {
+		return false
+	}
+	t := e.Run(cfg)
+	_ = t.Render(w)
+	return true
+}
+
+// ExperimentIDs lists the suite's experiment ids in evaluation order.
+func ExperimentIDs() []string {
+	ids := make([]string, len(core.Experiments))
+	for i, e := range core.Experiments {
+		ids[i] = e.ID
+	}
+	return ids
+}

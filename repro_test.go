@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestFacadeSum(t *testing.T) {
+	xs := []int64{1, 2, 3, 4, 5}
+	if got := Sum(xs, Options{Procs: 2, Grain: 1}); got != 15 {
+		t.Fatalf("Sum = %d", got)
+	}
+}
+
+func TestFacadeForAndScan(t *testing.T) {
+	n := 1000
+	xs := make([]int64, n)
+	For(n, Options{Procs: 4, Grain: 16}, func(i int) { xs[i] = 1 })
+	dst := make([]int64, n)
+	ScanInclusive(dst, xs, Options{Procs: 4, Grain: 16})
+	if dst[n-1] != int64(n) {
+		t.Fatalf("scan total = %d", dst[n-1])
+	}
+}
+
+func TestFacadeSorts(t *testing.T) {
+	for name, fn := range map[string]func([]int64, Options){
+		"sample": Sort, "merge": MergeSort, "radix": RadixSort,
+	} {
+		xs := RandomInts(10000, 3)
+		want := append([]int64(nil), xs...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		fn(xs, Options{Procs: 4})
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("%s: mismatch at %d", name, i)
+			}
+		}
+	}
+	xs := RandomInts(100, 1)
+	SequentialSort(xs)
+	if !sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) {
+		t.Fatal("SequentialSort")
+	}
+}
+
+func TestFacadeGraphs(t *testing.T) {
+	g := RandomGraph(1000, 8, false, 1)
+	labels := ConnectedComponents(g, Options{Procs: 4})
+	if len(labels) != 1000 {
+		t.Fatal("labels length")
+	}
+	depth := BFS(g, 0, Options{Procs: 4})
+	if depth[0] != 0 {
+		t.Fatal("BFS source depth")
+	}
+	pg := PowerLawGraph(10, 8, false, 2)
+	if pg.N() != 1024 {
+		t.Fatalf("PowerLawGraph n = %d", pg.N())
+	}
+	wg := RandomGraph(500, 8, true, 3)
+	if w := MSTWeight(wg, Options{Procs: 4}); w <= 0 {
+		t.Fatalf("MST weight = %v", w)
+	}
+}
+
+func TestFacadeListRank(t *testing.T) {
+	l := RandomLinkedList(500, 9)
+	ranks := ListRank(l, Options{Procs: 4})
+	want := l.RanksRef()
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("rank mismatch at %d", i)
+		}
+	}
+}
+
+func TestFacadeMatMulJacobi(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Matrix{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c := MatMul(a, b, Options{Procs: 2})
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v", c.Data)
+		}
+	}
+	g := &Grid{N: 4, Data: make([]float64, 16)}
+	g.Set(0, 1, 100)
+	out := Jacobi(g, 3, Options{Procs: 2})
+	if out.At(0, 1) != 100 {
+		t.Fatal("Jacobi boundary")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 21 || ids[0] != "E1" {
+		t.Fatalf("ExperimentIDs = %v", ids)
+	}
+	var buf bytes.Buffer
+	cfg := ExperimentConfig{Quick: true, Reps: 1, Procs: []int{1}, VProcs: []int{1, 4}}
+	if !RunExperiment("E13", cfg, &buf) {
+		t.Fatal("E13 missing")
+	}
+	if !strings.Contains(buf.String(), "winner") {
+		t.Fatalf("E13 output:\n%s", buf.String())
+	}
+	if RunExperiment("nope", cfg, &buf) {
+		t.Fatal("phantom experiment ran")
+	}
+}
