@@ -9,7 +9,10 @@
 //	parbench -exp E1 -csv out/   # also write CSV per experiment
 //	parbench -list               # show the experiment index
 //
-// Flags -procs, -vprocs, -reps and -seed control the sweep.
+// Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
+// selects the dispatch runtime (shared persistent pool, a dedicated
+// pool, or goroutine-per-call spawning) so the runtime overhead delta
+// is observable from the CLI.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/perf"
 )
 
@@ -35,6 +39,8 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "workload seed (default 42)")
 		csvDir    = flag.String("csv", "", "directory to also write one CSV per experiment")
 		list      = flag.Bool("list", false, "list the experiment index and exit")
+		executor  = flag.String("executor", "pooled",
+			"dispatch runtime: 'pooled' (shared persistent pool), 'dedicated' (fresh pool), or 'spawn' (goroutine per call)")
 	)
 	flag.Parse()
 
@@ -47,6 +53,16 @@ func main() {
 	}
 
 	cfg := core.Config{Quick: *quick, Reps: *reps, Seed: *seed}
+	switch *executor {
+	case "pooled", "":
+		// nil Executor = the shared process-wide pool.
+	case "dedicated":
+		cfg.Executor = exec.New(0)
+	case "spawn":
+		cfg.Executor = exec.NewSpawning()
+	default:
+		fatalf("bad -executor %q: want pooled, dedicated, or spawn", *executor)
+	}
 	var err error
 	if cfg.Procs, err = parseInts(*procsFlag); err != nil {
 		fatalf("bad -procs: %v", err)

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestDedicatedExecutorPinning drives the public kernels with a
+// dedicated pool pinned via Options.Executor — the long-lived-server
+// configuration — and checks results match the shared-pool runs.
+func TestDedicatedExecutorPinning(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	opts := Options{Procs: 4, Grain: 64, Executor: e}
+
+	xs := RandomInts(1<<14, 7)
+	want := append([]int64(nil), xs...)
+	SequentialSort(want)
+
+	for _, s := range []struct {
+		name string
+		fn   func([]int64, Options)
+	}{
+		{"samplesort", Sort},
+		{"mergesort", MergeSort},
+		{"radix", RadixSort},
+	} {
+		buf := append([]int64(nil), xs...)
+		s.fn(buf, opts)
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("%s on dedicated executor: mismatch at %d", s.name, i)
+			}
+		}
+	}
+
+	if got := Sum(xs, opts); got != Sum(xs, Options{}) {
+		t.Fatalf("Sum differs between dedicated and shared executor")
+	}
+
+	g := RandomGraph(500, 4, false, 11)
+	shared := BFS(g, 0, Options{Procs: 4})
+	dedicated := BFS(g, 0, opts)
+	for i := range shared {
+		if shared[i] != dedicated[i] {
+			t.Fatalf("BFS depth mismatch at node %d", i)
+		}
+	}
+
+	if DefaultExecutor() == nil || DefaultExecutor().Procs() < 1 {
+		t.Fatal("DefaultExecutor not usable")
+	}
+	// Select exercises count/pack on the dedicated pool.
+	k := len(xs) / 3
+	if got := Select(xs, k, opts); got != want[k] {
+		t.Fatalf("Select(k=%d) = %d, want %d", k, got, want[k])
+	}
+	if !sort.SliceIsSorted(want, func(i, j int) bool { return want[i] < want[j] }) {
+		t.Fatal("baseline unsorted")
+	}
+}

@@ -24,6 +24,7 @@ package bsp
 import (
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/machine"
 )
 
@@ -111,19 +112,36 @@ func (c *Proc[M]) Sync() []M {
 
 // Run executes prog on p virtual processors and returns the cost trace.
 func Run[M any](p int, prog func(c *Proc[M])) *Stats {
+	return RunOn[M](nil, p, prog)
+}
+
+// RunOn executes prog on p virtual processors, routing their
+// goroutines through executor e (nil means exec.Default()). Virtual
+// processors park on the superstep barrier waiting for their siblings,
+// so they need dedicated goroutines rather than slots of the
+// fixed-size pool — p routinely exceeds the physical worker count
+// (that is the point of the simulator) and pooled dispatch would
+// deadlock at the first Sync. Executor.Go provides exactly that:
+// dedicated goroutines, but accounted on the shared runtime so servers
+// can observe all parallel activity in one place.
+func RunOn[M any](e *exec.Executor, p int, prog func(c *Proc[M])) *Stats {
 	if p < 1 {
 		p = 1
+	}
+	if e == nil {
+		e = exec.Default()
 	}
 	coord := newCoordinator[M](p)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for id := 0; id < p; id++ {
-		go func(id int) {
+		id := id
+		e.Go(func() {
 			defer wg.Done()
 			c := &Proc[M]{id: id, coord: coord, outbox: make(map[int][]M), outWords: make(map[int]float64)}
 			prog(c)
 			coord.exit(id)
-		}(id)
+		})
 	}
 	wg.Wait()
 	return &Stats{Trace: coord.trace}

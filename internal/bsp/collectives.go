@@ -1,5 +1,7 @@
 package bsp
 
+import "repro/internal/exec"
+
 // Collective communication patterns expressed as reusable in-superstep
 // helpers plus standalone traced kernels. The collectives mirror the
 // message-passing repertoire the 1996-era libraries (Oxford BSPlib,
@@ -11,9 +13,12 @@ package bsp
 // superstep, h = P at the root. It returns the gathered values indexed
 // by rank (valid at every processor's return for convenience; only the
 // root pays the h-relation).
-func Gather(local func(rank int) int64, p int) ([]int64, *Stats) {
+func Gather(local func(rank int) int64, p int) ([]int64, *Stats) { return GatherOn(nil, local, p) }
+
+// GatherOn is Gather on executor e (nil = default); see RunOn.
+func GatherOn(e *exec.Executor, local func(rank int) int64, p int) ([]int64, *Stats) {
 	out := make([]int64, p)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id := c.ID()
 		v := local(id)
 		c.Send(0, tagged{from: id, val: v})
@@ -30,9 +35,12 @@ func Gather(local func(rank int) int64, p int) ([]int64, *Stats) {
 // AllToAll performs a total exchange: processor i sends value f(i, j) to
 // every processor j. One superstep with h = P (each processor sends and
 // receives P words). Returns the matrix received[j][i] = f(i, j).
-func AllToAll(f func(from, to int) int64, p int) ([][]int64, *Stats) {
+func AllToAll(f func(from, to int) int64, p int) ([][]int64, *Stats) { return AllToAllOn(nil, f, p) }
+
+// AllToAllOn is AllToAll on executor e (nil = default); see RunOn.
+func AllToAllOn(e *exec.Executor, f func(from, to int) int64, p int) ([][]int64, *Stats) {
 	out := make([][]int64, p)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id, np := c.ID(), c.NProcs()
 		for to := 0; to < np; to++ {
 			c.Send(to, tagged{from: id, val: f(id, to)})
@@ -55,10 +63,13 @@ func AllToAll(f func(from, to int) int64, p int) ([][]int64, *Stats) {
 // kernel of the suite: its BSP cost is dominated by g·h per round,
 // predicting that distributed list ranking only pays off at very large
 // n/P — the classic result the case study teaches.
-func ListRank(next []int, head int, p int) ([]int, *Stats) {
+func ListRank(next []int, head int, p int) ([]int, *Stats) { return ListRankOn(nil, next, head, p) }
+
+// ListRankOn is ListRank on executor e (nil = default); see RunOn.
+func ListRankOn(e *exec.Executor, next []int, head int, p int) ([]int, *Stats) {
 	n := len(next)
 	if n == 0 {
-		return nil, Run(p, func(c *Proc[pair]) {})
+		return nil, RunOn(e, p, func(c *Proc[pair]) {})
 	}
 	// Shared state arrays; each processor writes only its own block.
 	nxt := append([]int(nil), next...)
@@ -75,7 +86,7 @@ func ListRank(next []int, head int, p int) ([]int, *Stats) {
 		rounds++
 	}
 	rounds++
-	stats := Run(p, func(c *Proc[pair]) {
+	stats := RunOn(e, p, func(c *Proc[pair]) {
 		id, np := c.ID(), c.NProcs()
 		lo := id * n / np
 		hi := (id + 1) * n / np
@@ -167,8 +178,13 @@ type pair struct {
 // compute/communication ratio n/P per word is the textbook BSP matmul
 // analysis.
 func MatmulRowBlock(a, b []float64, n, p int) ([]float64, *Stats) {
+	return MatmulRowBlockOn(nil, a, b, n, p)
+}
+
+// MatmulRowBlockOn is MatmulRowBlock on executor e (nil = default).
+func MatmulRowBlockOn(e *exec.Executor, a, b []float64, n, p int) ([]float64, *Stats) {
 	cOut := make([]float64, n*n)
-	stats := Run(p, func(c *Proc[panelMsg]) {
+	stats := RunOn(e, p, func(c *Proc[panelMsg]) {
 		id, np := c.ID(), c.NProcs()
 		rLo := id * n / np
 		rHi := (id + 1) * n / np

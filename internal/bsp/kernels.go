@@ -2,6 +2,8 @@ package bsp
 
 import (
 	"sort"
+
+	"repro/internal/exec"
 )
 
 // Kernels implemented directly in the BSP model. Input arrays live in the
@@ -24,10 +26,14 @@ type tagged struct {
 //	superstep 2: offset = sum of lower-ranked partials; local rescan.
 //
 // It returns the result and the cost trace.
-func Scan(xs []int64, p int) ([]int64, *Stats) {
+func Scan(xs []int64, p int) ([]int64, *Stats) { return ScanOn(nil, xs, p) }
+
+// ScanOn is Scan with the virtual processors routed through executor e
+// (nil means the shared default pool); see RunOn.
+func ScanOn(e *exec.Executor, xs []int64, p int) ([]int64, *Stats) {
 	n := len(xs)
 	dst := make([]int64, n)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id, np := c.ID(), c.NProcs()
 		lo := id * n / np
 		hi := (id + 1) * n / np
@@ -63,10 +69,13 @@ func Scan(xs []int64, p int) ([]int64, *Stats) {
 // SumAllReduce computes the global sum of xs with a reduce-to-root then
 // broadcast (two supersteps, h = P each), returning the sum as seen by
 // every processor (validated internally) and the trace.
-func SumAllReduce(xs []int64, p int) (int64, *Stats) {
+func SumAllReduce(xs []int64, p int) (int64, *Stats) { return SumAllReduceOn(nil, xs, p) }
+
+// SumAllReduceOn is SumAllReduce on executor e (nil = default); see RunOn.
+func SumAllReduceOn(e *exec.Executor, xs []int64, p int) (int64, *Stats) {
 	n := len(xs)
 	results := make([]int64, p)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id, np := c.ID(), c.NProcs()
 		lo := id * n / np
 		hi := (id + 1) * n / np
@@ -96,9 +105,12 @@ func SumAllReduce(xs []int64, p int) (int64, *Stats) {
 
 // BroadcastDirect sends val from rank 0 to all others in one superstep
 // with h = P (the root sends P-1 words).
-func BroadcastDirect(val int64, p int) ([]int64, *Stats) {
+func BroadcastDirect(val int64, p int) ([]int64, *Stats) { return BroadcastDirectOn(nil, val, p) }
+
+// BroadcastDirectOn is BroadcastDirect on executor e (nil = default).
+func BroadcastDirectOn(e *exec.Executor, val int64, p int) ([]int64, *Stats) {
 	out := make([]int64, p)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id, np := c.ID(), c.NProcs()
 		if id == 0 {
 			for to := 1; to < np; to++ {
@@ -118,9 +130,12 @@ func BroadcastDirect(val int64, p int) ([]int64, *Stats) {
 // tree: ceil(log2 P) supersteps with h = 1 each. Experiment E13 contrasts
 // its cost with BroadcastDirect under varying (g, l): the tree wins when
 // g·P dominates, the direct form when l dominates.
-func BroadcastTree(val int64, p int) ([]int64, *Stats) {
+func BroadcastTree(val int64, p int) ([]int64, *Stats) { return BroadcastTreeOn(nil, val, p) }
+
+// BroadcastTreeOn is BroadcastTree on executor e (nil = default).
+func BroadcastTreeOn(e *exec.Executor, val int64, p int) ([]int64, *Stats) {
 	out := make([]int64, p)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id, np := c.ID(), c.NProcs()
 		have := id == 0
 		if have {
@@ -150,10 +165,13 @@ func BroadcastTree(val int64, p int) ([]int64, *Stats) {
 //
 // It returns the per-processor sorted buckets (concatenation in rank
 // order is the sorted array) and the trace.
-func SampleSort(xs []int64, p int) ([][]int64, *Stats) {
+func SampleSort(xs []int64, p int) ([][]int64, *Stats) { return SampleSortOn(nil, xs, p) }
+
+// SampleSortOn is SampleSort on executor e (nil = default); see RunOn.
+func SampleSortOn(e *exec.Executor, xs []int64, p int) ([][]int64, *Stats) {
 	n := len(xs)
 	out := make([][]int64, p)
-	stats := Run(p, func(c *Proc[tagged]) {
+	stats := RunOn(e, p, func(c *Proc[tagged]) {
 		id, np := c.ID(), c.NProcs()
 		lo := id * n / np
 		hi := (id + 1) * n / np

@@ -1,5 +1,7 @@
 package bsp
 
+import "repro/internal/exec"
+
 // MatmulSUMMA multiplies dense n×n matrices on a q×q grid of virtual
 // processors (P = q²) with the SUMMA algorithm (van de Geijn & Watts
 // 1995): in step k the owners of A's block-column k broadcast their
@@ -13,13 +15,18 @@ package bsp
 // algorithm's Θ(n²·P) — a factor √P less communication at equal
 // processor count, which is the entire point of 2D decompositions.
 func MatmulSUMMA(a, b []float64, n, q int) ([]float64, *Stats) {
+	return MatmulSUMMAOn(nil, a, b, n, q)
+}
+
+// MatmulSUMMAOn is MatmulSUMMA on executor e (nil = default); see RunOn.
+func MatmulSUMMAOn(e *exec.Executor, a, b []float64, n, q int) ([]float64, *Stats) {
 	if q < 1 {
 		q = 1
 	}
 	p := q * q
 	cOut := make([]float64, n*n)
 	block := func(i int) (int, int) { return i * n / q, (i + 1) * n / q }
-	stats := Run(p, func(c *Proc[panel]) {
+	stats := RunOn(e, p, func(c *Proc[panel]) {
 		row := c.ID() / q
 		col := c.ID() % q
 		r0, r1 := block(row)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"repro/internal/bsp"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -33,6 +34,18 @@ type Config struct {
 	Reps int
 	// Seed makes all workloads reproducible (default 42).
 	Seed uint64
+	// Executor pins every kernel invocation in the suite to one worker
+	// pool: nil means the shared process-wide pool, a dedicated pool
+	// isolates the run, and exec.NewSpawning() reinstates the
+	// goroutine-per-call dispatch (cmd/parbench -executor=spawn) so the
+	// runtime's own overhead is observable in the tables.
+	Executor *exec.Executor
+}
+
+// opts builds the par.Options for one measured point, carrying the
+// harness executor into every kernel layer.
+func (c Config) opts(procs int, pol par.Policy, grain int) par.Options {
+	return par.Options{Procs: procs, Policy: pol, Grain: grain, Executor: c.Executor}
 }
 
 func (c Config) procs() []int {
@@ -124,7 +137,7 @@ func E1Scan(cfg Config) *perf.Table {
 		"machine", "P", "time", "speedup-vs-seq", "efficiency")
 	t1 := 0.0
 	for _, p := range cfg.procs() {
-		opts := par.Options{Procs: p, Grain: 4096}
+		opts := cfg.opts(p, par.Static, 4096)
 		m := r.Time(func(int) {
 			par.ScanInclusive(dst, xs, opts, 0, func(a, b int64) int64 { return a + b })
 		}).Median
@@ -137,7 +150,7 @@ func E1Scan(cfg Config) *perf.Table {
 	params := machine.BSPParams{G: 2, L: 2000}
 	cost1 := 0.0
 	for _, p := range cfg.vprocs() {
-		_, stats := bsp.Scan(xs[:min(n, cfg.size(1<<18, 1<<14))], p)
+		_, stats := bsp.ScanOn(cfg.Executor, xs[:min(n, cfg.size(1<<18, 1<<14))], p)
 		params.P = p
 		cost := stats.Cost(params)
 		if p == 1 {
@@ -162,7 +175,7 @@ func E2Sort(cfg Config) *perf.Table {
 			buf := make([]int64, n)
 			m := r.Time(func(int) {
 				copy(buf, master)
-				s.Sort(buf, par.Options{Procs: p})
+				s.Sort(buf, cfg.opts(p, par.Static, 0))
 			}).Median
 			t.AddRowf(s.Name, d.String(), perf.FormatDuration(m),
 				perf.Throughput(n, m)/1e6)
@@ -189,7 +202,7 @@ func E3SortScaling(cfg Config) *perf.Table {
 		for _, p := range cfg.procs() {
 			m := r.Time(func(int) {
 				copy(buf, master)
-				s.Sort(buf, par.Options{Procs: p})
+				s.Sort(buf, cfg.opts(p, par.Static, 0))
 			}).Median
 			if p == 1 {
 				t1 = m
@@ -216,7 +229,7 @@ func E4ListRank(cfg Config) *perf.Table {
 	for _, n := range sizes {
 		l := gen.RandomList(n, cfg.seed())
 		ts := r.Time(func(int) { seq.ListRank(l) }).Median
-		tp := r.Time(func(int) { plist.Rank(l, par.Options{Procs: p, Grain: 2048}) }).Median
+		tp := r.Time(func(int) { plist.Rank(l, cfg.opts(p, par.Static, 2048)) }).Median
 		wd := machine.ListRankWD(n)
 		seqWork := float64(n)
 		t.AddRowf(n, perf.FormatDuration(ts), perf.FormatDuration(tp),
@@ -240,7 +253,7 @@ func E5CC(cfg Config) *perf.Table {
 		{"grid", gen.Grid2D(gridSide, gridSide, false, cfg.seed()+3)},
 	}
 	p := runtime.GOMAXPROCS(0)
-	opts := par.Options{Procs: p, Grain: 2048}
+	opts := cfg.opts(p, par.Static, 2048)
 	r := cfg.runner()
 	t := perf.NewTable(
 		fmt.Sprintf("Table 4: connected components, P=%d", p),
@@ -281,7 +294,7 @@ func E6MST(cfg Config) *perf.Table {
 	n := cfg.size(1<<15, 1<<10)
 	r := cfg.runner()
 	p := runtime.GOMAXPROCS(0)
-	opts := par.Options{Procs: p, Grain: 2048}
+	opts := cfg.opts(p, par.Static, 2048)
 	t := perf.NewTable(
 		fmt.Sprintf("Table 5: minimum spanning forest, P=%d", p),
 		"graph", "n", "m", "algorithm", "time", "weight")
@@ -336,10 +349,10 @@ func E7Matmul(cfg Config) *perf.Table {
 		"kernel", "block", "time", "GFLOP/s", "model-adv-L1")
 	m := r.Time(func(int) { seq.Matmul(a, b) }).Median
 	t.AddRowf("seq-naive", "-", perf.FormatDuration(m), flops/m/1e9, 1.0)
-	m = r.Time(func(int) { pmat.MulNaive(a, b, par.Options{Procs: p}) }).Median
+	m = r.Time(func(int) { pmat.MulNaive(a, b, cfg.opts(p, par.Static, 0)) }).Median
 	t.AddRowf("par-naive", "-", perf.FormatDuration(m), flops/m/1e9, 1.0)
 	for _, bs := range []int{16, 32, 64, 128} {
-		m := r.Time(func(int) { pmat.Mul(a, b, pmat.Config{Block: bs, Opts: par.Options{Procs: p}}) }).Median
+		m := r.Time(func(int) { pmat.Mul(a, b, pmat.Config{Block: bs, Opts: cfg.opts(p, par.Static, 0)}) }).Median
 		t.AddRowf("par-blocked", bs, perf.FormatDuration(m), flops/m/1e9,
 			l1.BlockingSpeedupModel(n, bs))
 	}
@@ -358,7 +371,7 @@ func E8Stencil(cfg Config) *perf.Table {
 	cells := float64(n-2) * float64(n-2) * float64(iters)
 	t1 := 0.0
 	for _, p := range cfg.procs() {
-		m := r.Time(func(int) { pstencil.Jacobi(g, iters, par.Options{Procs: p, Grain: 8}) }).Median
+		m := r.Time(func(int) { pstencil.Jacobi(g, iters, cfg.opts(p, par.Static, 8)) }).Median
 		if p == 1 {
 			t1 = m
 		}
@@ -383,11 +396,11 @@ func E9BSPPredict(cfg Config) *perf.Table {
 		for _, frac := range []int{1, 4, 16} {
 			in := xs[:n/frac]
 			var stats *bsp.Stats
-			secs := r.Time(func(int) { _, stats = bsp.Scan(in, p) }).Median
+			secs := r.Time(func(int) { _, stats = bsp.ScanOn(cfg.Executor, in, p) }).Median
 			obs = append(obs, Observation{Stats: stats, Seconds: secs})
 			// Allreduce contributes a 3-superstep, low-h point so the
 			// barrier term is identifiable (scan alone pins S at 2).
-			secs = r.Time(func(int) { _, stats = bsp.SumAllReduce(in, p) }).Median
+			secs = r.Time(func(int) { _, stats = bsp.SumAllReduceOn(cfg.Executor, in, p) }).Median
 			obs = append(obs, Observation{Stats: stats, Seconds: secs})
 		}
 	}
@@ -405,9 +418,9 @@ func E9BSPPredict(cfg Config) *perf.Table {
 		run  func(p int) *bsp.Stats
 	}
 	kernels := []kernel{
-		{"scan", func(p int) *bsp.Stats { _, s := bsp.Scan(xs, p); return s }},
-		{"allreduce", func(p int) *bsp.Stats { _, s := bsp.SumAllReduce(xs, p); return s }},
-		{"samplesort", func(p int) *bsp.Stats { _, s := bsp.SampleSort(xs[:min(n, 1<<15)], p); return s }},
+		{"scan", func(p int) *bsp.Stats { _, s := bsp.ScanOn(cfg.Executor, xs, p); return s }},
+		{"allreduce", func(p int) *bsp.Stats { _, s := bsp.SumAllReduceOn(cfg.Executor, xs, p); return s }},
+		{"samplesort", func(p int) *bsp.Stats { _, s := bsp.SampleSortOn(cfg.Executor, xs[:min(n, 1<<15)], p); return s }},
 	}
 	for _, k := range kernels {
 		for _, p := range []int{4, 16} {
@@ -442,7 +455,7 @@ func E10Schedule(cfg Config) *perf.Table {
 	}{{"uniform", uniform}, {"skewed", skewed}} {
 		staticT := 0.0
 		for _, pol := range par.Policies {
-			opts := par.Options{Procs: p, Policy: pol, Grain: 16}
+			opts := cfg.opts(p, pol, 16)
 			m := r.Time(func(int) {
 				par.For(n, opts, func(i int) { spin(w.work[i]) })
 			}).Median
@@ -477,7 +490,7 @@ func E11Grain(cfg Config) *perf.Table {
 		"grain", "time", "vs-best")
 	grains := PowersOfTwo(6, 20)
 	res := TuneGrain(grains, cfg.reps(), func(grain int) {
-		par.Sum(xs, par.Options{Procs: p, Policy: par.Dynamic, Grain: grain})
+		par.Sum(xs, cfg.opts(p, par.Dynamic, grain))
 	})
 	best := res.Seconds[res.Best]
 	for _, g := range grains {
@@ -500,7 +513,7 @@ func E12Steal(cfg Config) *perf.Table {
 	// The workload: an unbalanced recursion (a second child only every
 	// third level) — static partitioning over its leaf list clusters
 	// the heavy subtrees onto few workers.
-	pool := sched.NewPool(p)
+	pool := sched.NewPoolOn(cfg.Executor, p)
 	var root func(d int) sched.Task
 	root = func(d int) sched.Task {
 		return func(w *sched.Worker) {
@@ -535,7 +548,7 @@ func E12Steal(cfg Config) *perf.Table {
 	expand(depth)
 	for _, pol := range []par.Policy{par.Static, par.Guided} {
 		m := r.Time(func(int) {
-			par.For(len(tasks), par.Options{Procs: p, Policy: pol, Grain: 64}, func(i int) { spin(tasks[i]) })
+			par.For(len(tasks), cfg.opts(p, pol, 64), func(i int) { spin(tasks[i]) })
 		}).Median
 		t.AddRowf("loop-"+pol.String(), perf.FormatDuration(m), "-", "-")
 	}
@@ -553,8 +566,8 @@ func E13Models(cfg Config) *perf.Table {
 		if p < 2 {
 			continue
 		}
-		_, direct := bsp.BroadcastDirect(1, p)
-		_, tree := bsp.BroadcastTree(1, p)
+		_, direct := bsp.BroadcastDirectOn(cfg.Executor, 1, p)
+		_, tree := bsp.BroadcastTreeOn(cfg.Executor, 1, p)
 		for _, gl := range []struct{ g, l float64 }{{1, 10}, {1, 10000}, {50, 10}} {
 			params := machine.BSPParams{P: p, G: gl.g, L: gl.l}
 			cd, ct := direct.Cost(params), tree.Cost(params)
@@ -576,7 +589,7 @@ func E14Overhead(cfg Config) *perf.Table {
 	t := perf.NewTable(
 		"Table 8: parallel overhead T1/Tseq",
 		"kernel", "Tseq", "T1", "overhead")
-	one := par.Options{Procs: 1}
+	one := cfg.opts(1, par.Static, 0)
 
 	n := cfg.size(1<<20, 1<<14)
 	xs := gen.Ints(n, gen.Uniform, cfg.seed())

@@ -45,7 +45,7 @@ func E15WeakScaling(cfg Config) *perf.Table {
 	cost1 := 0.0
 	for _, p := range cfg.vprocs() {
 		xs := gen.Ints(n0*p, gen.Uniform, cfg.seed())
-		_, stats := bsp.Scan(xs, p)
+		_, stats := bsp.ScanOn(cfg.Executor, xs, p)
 		params.P = p
 		cost := stats.Cost(params)
 		if p == 1 {
@@ -66,7 +66,7 @@ func E15WeakScaling(cfg Config) *perf.Table {
 		}
 		a := gen.RandomMatrix(side, side, cfg.seed())
 		b := gen.RandomMatrix(side, side, cfg.seed()+1)
-		_, stats := bsp.MatmulRowBlock(a.Data, b.Data, side, p)
+		_, stats := bsp.MatmulRowBlockOn(cfg.Executor, a.Data, b.Data, side, p)
 		params.P = p
 		cost := stats.Cost(params)
 		if p == 1 {
@@ -83,7 +83,7 @@ func E15WeakScaling(cfg Config) *perf.Table {
 		}
 		a := gen.RandomMatrix(side, side, cfg.seed())
 		b := gen.RandomMatrix(side, side, cfg.seed()+1)
-		_, stats := bsp.MatmulSUMMA(a.Data, b.Data, side, q)
+		_, stats := bsp.MatmulSUMMAOn(cfg.Executor, a.Data, b.Data, side, q)
 		params.P = p
 		cost := stats.Cost(params)
 		if p == 1 {
@@ -100,7 +100,7 @@ func E15WeakScaling(cfg Config) *perf.Table {
 func E16Selection(cfg Config) *perf.Table {
 	n := cfg.size(1<<21, 1<<14)
 	p := runtime.GOMAXPROCS(0)
-	opts := par.Options{Procs: p, Grain: 4096}
+	opts := cfg.opts(p, par.Static, 4096)
 	r := cfg.runner()
 	t := perf.NewTable(
 		fmt.Sprintf("Table 9: median selection, n=%d, P=%d", n, p),
@@ -134,7 +134,7 @@ func E16Selection(cfg Config) *perf.Table {
 func E17GraphIterative(cfg Config) *perf.Table {
 	scale := cfg.size(14, 9)
 	p := runtime.GOMAXPROCS(0)
-	opts := par.Options{Procs: p, Grain: 1024}
+	opts := cfg.opts(p, par.Static, 1024)
 	r := cfg.runner()
 	graphs := []struct {
 		name string
@@ -177,12 +177,12 @@ func E18Aggregation(cfg Config) *perf.Table {
 	// the matmul panels). Derived from the cost traces.
 	n := cfg.size(1<<12, 1<<8)
 	xs := gen.Ints(n, gen.Uniform, cfg.seed())
-	_, scanStats := bsp.Scan(xs, 8)
-	_, sortStats := bsp.SampleSort(xs, 8)
+	_, scanStats := bsp.ScanOn(cfg.Executor, xs, 8)
+	_, sortStats := bsp.SampleSortOn(cfg.Executor, xs, 8)
 	side := cfg.size(64, 16)
 	a := gen.RandomMatrix(side, side, 1)
 	b := gen.RandomMatrix(side, side, 2)
-	_, mmStats := bsp.MatmulRowBlock(a.Data, b.Data, side, 8)
+	_, mmStats := bsp.MatmulRowBlockOn(cfg.Executor, a.Data, b.Data, side, 8)
 	t.AddRowf("kernel", "scan", "samplesort", "matmul-panels", "-")
 	t.AddRowf("total-h-words", scanStats.TotalH(), sortStats.TotalH(), mmStats.TotalH(), 0.0)
 	t.AddRowf("supersteps", scanStats.Supersteps(), sortStats.Supersteps(), mmStats.Supersteps(), 0)

@@ -31,7 +31,7 @@ func init() {
 // shape is ~2x fewer sweeps for red-black at equal per-sweep cost.
 func E19Relaxation(cfg Config) *perf.Table {
 	p := runtime.GOMAXPROCS(0)
-	opts := par.Options{Procs: p, Grain: 8}
+	opts := cfg.opts(p, par.Static, 8)
 	r := cfg.runner()
 	t := perf.NewTable(
 		fmt.Sprintf("Figure 9: relaxation to |delta|<1e-4, P=%d", p),
@@ -59,7 +59,7 @@ func E20StealSort(cfg Config) *perf.Table {
 	n := cfg.size(1<<20, 1<<14)
 	p := runtime.GOMAXPROCS(0)
 	r := cfg.runner()
-	pool := sched.NewPool(p)
+	pool := sched.NewPoolOn(cfg.Executor, p)
 	t := perf.NewTable(
 		fmt.Sprintf("Table 11: task- vs loop-parallel sorting, n=%d, P=%d", n, p),
 		"algorithm", "distribution", "time", "steals")
@@ -73,12 +73,12 @@ func E20StealSort(cfg Config) *perf.Table {
 		t.AddRowf("steal-quicksort", d.String(), perf.FormatDuration(m), int(pool.Steals()))
 		m = r.Time(func(int) {
 			copy(buf, master)
-			psort.SampleSort(buf, par.Options{Procs: p})
+			psort.SampleSort(buf, cfg.opts(p, par.Static, 0))
 		}).Median
 		t.AddRowf("samplesort", d.String(), perf.FormatDuration(m), "-")
 		m = r.Time(func(int) {
 			copy(buf, master)
-			psort.MergeSort(buf, par.Options{Procs: p})
+			psort.MergeSort(buf, cfg.opts(p, par.Static, 0))
 		}).Median
 		t.AddRowf("mergesort", d.String(), perf.FormatDuration(m), "-")
 	}
@@ -92,7 +92,7 @@ func E20StealSort(cfg Config) *perf.Table {
 func E21BFSDirection(cfg Config) *perf.Table {
 	scale := cfg.size(15, 10)
 	p := runtime.GOMAXPROCS(0)
-	opts := par.Options{Procs: p, Grain: 1024}
+	opts := cfg.opts(p, par.Static, 1024)
 	r := cfg.runner()
 	graphs := []struct {
 		name string

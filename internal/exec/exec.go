@@ -1,0 +1,322 @@
+// Package exec is the process-wide persistent executor runtime that
+// every parallel layer of the repository dispatches onto: the par loop
+// schedules, the sched fork/join scheduler, the sorting/graph/matrix
+// kernels (through par), and the BSP simulator's virtual processors.
+//
+// Motivation. The paper's methodology separates the abstract algorithm
+// from the schedule mapping its work to processors — but a schedule
+// that spawns fresh goroutines on every parallel call pays a hidden,
+// unseparable cost: goroutine creation, stack setup and scheduler
+// hand-off on every loop, which dominates at small problem sizes and
+// under heavy concurrent traffic. exec amortizes that cost once per
+// process: a lazily started pool of persistent workers, each with its
+// own work-stealing deque, onto which all loop-level and task-level
+// parallelism is dispatched (BenchmarkForSpawnVsPooled in internal/par
+// quantifies the delta).
+//
+// The fork/join primitive is Run(p, slot): execute slot(w) for every
+// slot w in [0, p). Its two structural rules make the runtime safe for
+// nested parallelism on a fixed-size pool:
+//
+//   - The caller participates. Run submits at most min(p-1, Procs)
+//     helper tasks and then claims slots itself, so every Run completes
+//     even if no pooled worker ever becomes free — a Run issued from
+//     inside a pooled worker (nested parallelism) degrades gracefully
+//     toward inline execution instead of deadlocking or oversubscribing.
+//   - Joins wait only on started helpers. A helper that arrives after
+//     all slots are claimed returns immediately; the join therefore
+//     only ever waits on participants that are actively running slots,
+//     and the wait-for graph follows the nesting tree (no cycles).
+//
+// Workers park on a condition variable when idle, so a persistent pool
+// in a long-lived server costs nothing between requests.
+package exec
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Task is a unit of work submitted to the pool.
+type Task func()
+
+// Executor is a persistent worker pool. The zero value is not usable;
+// create one with New, or share the process-wide pool via Default.
+type Executor struct {
+	procs int
+	// spawn selects the goroutine-per-task baseline used to measure
+	// pooled dispatch against (the pre-runtime behavior of par).
+	spawn bool
+
+	startOnce sync.Once
+	workers   []*worker
+	submitIdx atomic.Uint64 // round-robin target for external submits
+
+	// pending counts tasks pushed but not yet popped; workers re-check
+	// it against idle under mu before parking (Dekker pairing with
+	// Submit) so wakeups are never lost.
+	pending atomic.Int64
+	idle    atomic.Int32
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	wg     sync.WaitGroup // live pooled workers, for Close
+
+	// Observability gauges/counters.
+	steals   atomic.Int64
+	attempts atomic.Int64
+	blocking atomic.Int64 // dedicated goroutines live via Go
+}
+
+type worker struct {
+	e   *Executor
+	id  int
+	dq  Deque[Task]
+	rnd *rng.Rand
+}
+
+// New creates an executor with procs persistent workers (<= 0 means
+// runtime.GOMAXPROCS(0)). Workers start lazily on first use.
+func New(procs int) *Executor {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{procs: procs}
+	e.cond = sync.NewCond(&e.mu)
+	e.workers = make([]*worker, procs)
+	for i := range e.workers {
+		e.workers[i] = &worker{e: e, id: i, rnd: rng.New(uint64(0x5eed + i))}
+	}
+	return e
+}
+
+// NewSpawning returns an executor that spawns one fresh goroutine per
+// task instead of using persistent workers — the spawn-per-call
+// baseline. It exists so the pooled runtime can be measured against the
+// old dispatch (cmd/parbench -executor=spawn, BenchmarkForSpawnVsPooled).
+func NewSpawning() *Executor {
+	e := New(0)
+	e.spawn = true
+	return e
+}
+
+var (
+	defaultOnce sync.Once
+	defaultExec *Executor
+)
+
+// Default returns the lazily created process-wide executor, sized to
+// GOMAXPROCS at first use (override with the REPRO_EXEC_PROCS
+// environment variable). It must never be closed.
+func Default() *Executor {
+	defaultOnce.Do(func() {
+		procs := 0
+		if s := os.Getenv("REPRO_EXEC_PROCS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				procs = v
+			}
+		}
+		defaultExec = New(procs)
+	})
+	return defaultExec
+}
+
+// Procs returns the number of pooled workers.
+func (e *Executor) Procs() int { return e.procs }
+
+// Steals returns the cumulative number of successful cross-worker
+// steals (observability; monotone over the executor's lifetime).
+func (e *Executor) Steals() int64 { return e.steals.Load() }
+
+// StealAttempts returns the cumulative number of steal probes.
+func (e *Executor) StealAttempts() int64 { return e.attempts.Load() }
+
+// BlockingGoroutines returns the number of dedicated goroutines
+// currently live via Go (e.g. BSP virtual processors).
+func (e *Executor) BlockingGoroutines() int64 { return e.blocking.Load() }
+
+// start launches the persistent workers (idempotent).
+func (e *Executor) start() {
+	e.startOnce.Do(func() {
+		e.wg.Add(len(e.workers))
+		for _, w := range e.workers {
+			go func(w *worker) {
+				defer e.wg.Done()
+				w.loop()
+			}(w)
+		}
+	})
+}
+
+// Close stops the persistent workers and waits for them to exit.
+// Queued tasks that have not started are dropped. Closing the Default
+// executor is a programming error; Close exists for dedicated pools in
+// tests and short-lived tools.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Submit enqueues t for asynchronous execution on the pool (or spawns
+// a goroutine in spawn mode). Tasks must not block indefinitely on
+// other queued tasks starting — pooled workers are a fixed resource;
+// use Go for tasks that block (e.g. on barriers).
+func (e *Executor) Submit(t Task) {
+	if e.spawn {
+		go t()
+		return
+	}
+	e.start()
+	w := e.workers[e.submitIdx.Add(1)%uint64(len(e.workers))]
+	w.dq.PushBottom(t)
+	e.pending.Add(1)
+	if e.idle.Load() > 0 {
+		e.mu.Lock()
+		e.cond.Signal()
+		e.mu.Unlock()
+	}
+}
+
+// Go runs fn on a dedicated (non-pooled) goroutine. It exists for work
+// that blocks on coordination with its siblings — the BSP simulator's
+// virtual processors park on a superstep barrier, so running them on
+// the fixed-size pool would deadlock; routing them through the
+// executor keeps them observable (BlockingGoroutines) and gives
+// long-lived servers one place to account for all parallel activity.
+func (e *Executor) Go(fn func()) {
+	e.blocking.Add(1)
+	go func() {
+		defer e.blocking.Add(-1)
+		fn()
+	}()
+}
+
+func (w *worker) loop() {
+	e := w.e
+	for {
+		t, ok := w.dq.PopBottom()
+		if !ok {
+			t, ok = w.stealAny()
+		}
+		if ok {
+			e.pending.Add(-1)
+			t()
+			continue
+		}
+		// Nothing runnable: park. The idle increment must precede the
+		// pending re-check (and Submit's pending increment precedes its
+		// idle check), so at least one side always observes the other.
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		e.idle.Add(1)
+		if e.pending.Load() > 0 {
+			e.idle.Add(-1)
+			e.mu.Unlock()
+			continue
+		}
+		e.cond.Wait()
+		e.idle.Add(-1)
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// stealAny probes the other workers' deques from a random start.
+func (w *worker) stealAny() (Task, bool) {
+	e := w.e
+	return StealScan(func(i int) *Deque[Task] { return &e.workers[i].dq },
+		len(e.workers), w.id, w.rnd, &e.attempts, &e.steals)
+}
+
+// runState is the join state of one Run: a slot-claim cursor plus a
+// count of participants actively inside the slot loop. The caller
+// joins by waiting for active to drain after exhausting the cursor
+// itself, so only started helpers are ever waited on.
+type runState struct {
+	slot func(w int)
+	p    int64
+
+	next atomic.Int64 // next unclaimed slot
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	active int // participants inside participate()
+}
+
+// Run executes slot(w) for every w in [0, p), using the calling
+// goroutine plus up to min(p-1, Procs) pooled helpers, and returns when
+// every slot has completed. Slots must not block waiting for each
+// other's *start* (they may freely synchronize on each other's
+// side effects going forward, e.g. claim work from a shared cursor):
+// when the pool is busy, a single participant may run all p slots
+// sequentially. Run may be called concurrently and from inside slots
+// of other Runs (nested parallelism); see the package comment for why
+// this cannot deadlock.
+func (e *Executor) Run(p int, slot func(w int)) {
+	if p <= 0 {
+		return
+	}
+	if p == 1 {
+		slot(0)
+		return
+	}
+	st := &runState{slot: slot, p: int64(p)}
+	st.cond.L = &st.mu
+	helpers := p - 1
+	if !e.spawn && helpers > e.procs {
+		helpers = e.procs
+	}
+	for i := 0; i < helpers; i++ {
+		e.Submit(st.participate)
+	}
+	st.participate()
+	// The caller exhausted the slot cursor above; wait for helpers that
+	// started before exhaustion to finish their slots.
+	st.mu.Lock()
+	for st.active > 0 {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+}
+
+// participate claims and runs slots until none remain. Late arrivals
+// (all slots already claimed) return without registering, so the join
+// never waits on a helper that has not started.
+func (st *runState) participate() {
+	if st.next.Load() >= st.p {
+		return
+	}
+	st.mu.Lock()
+	st.active++
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		st.active--
+		if st.active == 0 {
+			st.cond.Broadcast()
+		}
+		st.mu.Unlock()
+	}()
+	for {
+		w := st.next.Add(1) - 1
+		if w >= st.p {
+			return
+		}
+		st.slot(int(w))
+	}
+}

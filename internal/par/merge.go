@@ -1,9 +1,6 @@
 package par
 
-import (
-	"sort"
-	"sync"
-)
+import "sort"
 
 // Merge merges two sorted slices into dst (len(dst) == len(a)+len(b))
 // using the parallel merge-path technique: the output is cut into P equal
@@ -27,19 +24,13 @@ func Merge[T any](dst, a, b []T, opts Options, less func(x, y T) bool) {
 		mergeSeq(dst, a, b, less)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		kLo := w * n / p
 		kHi := (w + 1) * n / p
-		go func(kLo, kHi int) {
-			defer wg.Done()
-			iLo, jLo := coRank(kLo, a, b, less)
-			iHi, jHi := coRank(kHi, a, b, less)
-			mergeSeq(dst[kLo:kHi], a[iLo:iHi], b[jLo:jHi], less)
-		}(kLo, kHi)
-	}
-	wg.Wait()
+		iLo, jLo := coRank(kLo, a, b, less)
+		iHi, jHi := coRank(kHi, a, b, less)
+		mergeSeq(dst[kLo:kHi], a[iLo:iHi], b[jLo:jHi], less)
+	})
 }
 
 // coRank returns (i, j) with i+j == k such that the stable merge of a and

@@ -1,0 +1,148 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// The nested-parallelism contract: par primitives called from inside
+// other par bodies (or from sched tasks — see internal/sched's tests)
+// must neither deadlock nor miss iterations, even when the pool is far
+// smaller than the nesting would demand. Run these under -race.
+
+func nestedOpts(e *exec.Executor, pol Policy) Options {
+	return Options{Procs: 4, Policy: pol, Grain: 2, Executor: e}
+}
+
+// TestNestedForAllPolicies nests every outer policy with every inner
+// policy on a deliberately tiny dedicated pool.
+func TestNestedForAllPolicies(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	const outer, inner = 8, 16
+	for _, outerPol := range Policies {
+		for _, innerPol := range Policies {
+			hits := make([][]atomic.Int32, outer)
+			for i := range hits {
+				hits[i] = make([]atomic.Int32, inner)
+			}
+			For(outer, nestedOpts(e, outerPol), func(i int) {
+				For(inner, nestedOpts(e, innerPol), func(j int) {
+					hits[i][j].Add(1)
+				})
+			})
+			for i := range hits {
+				for j := range hits[i] {
+					if got := hits[i][j].Load(); got != 1 {
+						t.Fatalf("%v in %v: body(%d,%d) ran %d times, want 1",
+							innerPol, outerPol, i, j, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNestedOnDefaultExecutor exercises the shared process-wide pool,
+// which other tests and callers use concurrently.
+func TestNestedOnDefaultExecutor(t *testing.T) {
+	const outer, inner = 16, 64
+	var sum atomic.Int64
+	For(outer, Options{Grain: 1}, func(i int) {
+		For(inner, Options{Grain: 4, Policy: Dynamic}, func(j int) {
+			sum.Add(int64(i*inner + j))
+		})
+	})
+	n := int64(outer * inner)
+	if want := n * (n - 1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// TestTripleNesting drives three levels of nesting through reductions
+// and scans, mixing primitives the kernels compose in practice.
+func TestTripleNesting(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	opts := Options{Procs: 3, Grain: 2, Executor: e}
+	xs := make([]int64, 32)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	total := Reduce(4, opts, int64(0), func(a, b int64) int64 { return a + b }, func(i int) int64 {
+		dst := make([]int64, len(xs))
+		ScanInclusive(dst, xs, opts, 0, func(a, b int64) int64 { return a + b })
+		return Sum(dst, opts)
+	})
+	var want int64
+	acc := int64(0)
+	for _, x := range xs {
+		acc += x
+		want += acc
+	}
+	if total != 4*want {
+		t.Fatalf("total = %d, want %d", total, 4*want)
+	}
+}
+
+// TestGuidedCASExact verifies the CAS-based guided cursor covers every
+// index exactly once under maximal contention (tiny grain, many procs).
+func TestGuidedCASExact(t *testing.T) {
+	const n = 10000
+	hits := make([]atomic.Int32, n)
+	For(n, Options{Procs: 16, Policy: Guided, Grain: 1}, func(i int) {
+		hits[i].Add(1)
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestGuidedChunkShapes checks the guided schedule still produces
+// shrinking chunk sizes down to the grain floor.
+func TestGuidedChunkShapes(t *testing.T) {
+	var cursor atomic.Int64
+	n, p, grain := 1000, 4, 10
+	prev := n + 1
+	covered := 0
+	for {
+		lo, hi, ok := guidedGrab(&cursor, n, p, grain)
+		if !ok {
+			break
+		}
+		size := hi - lo
+		if size > prev {
+			t.Fatalf("chunk grew: %d after %d", size, prev)
+		}
+		if size < grain && hi != n {
+			t.Fatalf("interior chunk %d below grain %d", size, grain)
+		}
+		if lo != covered {
+			t.Fatalf("gap: chunk starts at %d, expected %d", lo, covered)
+		}
+		covered = hi
+		prev = size
+	}
+	if covered != n {
+		t.Fatalf("covered %d of %d", covered, n)
+	}
+}
+
+// TestForWorkersSlotIdentity confirms every slot index is delivered
+// exactly once even when slots outnumber pool workers.
+func TestForWorkersSlotIdentity(t *testing.T) {
+	e := exec.New(1)
+	defer e.Close()
+	const p = 33
+	hits := make([]atomic.Int32, p)
+	ForWorkers(p, Options{Executor: e}, func(w int) { hits[w].Add(1) })
+	for w := range hits {
+		if got := hits[w].Load(); got != 1 {
+			t.Fatalf("slot %d ran %d times, want 1", w, got)
+		}
+	}
+}

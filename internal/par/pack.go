@@ -1,7 +1,5 @@
 package par
 
-import "sync"
-
 // Pack (also known as filter or stream compaction) copies the elements of
 // xs satisfying pred into a new dense slice, preserving input order. It is
 // the classic scan application: count per block, prefix-sum the counts to
@@ -29,41 +27,30 @@ func Pack[T any](xs []T, opts Options, pred func(T) bool) []T {
 		return out
 	}
 	counts := make([]int, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := 0
-			for i := lo; i < hi; i++ {
-				if pred(xs[i]) {
-					c++
-				}
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(xs[i]) {
+				c++
 			}
-			counts[w] = c
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		counts[w] = c
+	})
 	offsets, total := PrefixSums(counts, Options{Procs: 1})
 	out := make([]T, total)
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			o := offsets[w]
-			for i := lo; i < hi; i++ {
-				if pred(xs[i]) {
-					out[o] = xs[i]
-					o++
-				}
+		o := offsets[w]
+		for i := lo; i < hi; i++ {
+			if pred(xs[i]) {
+				out[o] = xs[i]
+				o++
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return out
 }
 
@@ -91,41 +78,30 @@ func PackIndex(n int, opts Options, pred func(i int) bool) []int {
 		return out
 	}
 	counts := make([]int, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := 0
-			for i := lo; i < hi; i++ {
-				if pred(i) {
-					c++
-				}
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				c++
 			}
-			counts[w] = c
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		counts[w] = c
+	})
 	offsets, total := PrefixSums(counts, Options{Procs: 1})
 	out := make([]int, total)
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			o := offsets[w]
-			for i := lo; i < hi; i++ {
-				if pred(i) {
-					out[o] = i
-					o++
-				}
+		o := offsets[w]
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				out[o] = i
+				o++
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return out
 }
 
@@ -149,23 +125,17 @@ func Histogram[T any](xs []T, buckets int, opts Options, bucket func(T) int) []i
 		return out
 	}
 	private := make([][]int, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			h := make([]int, buckets)
-			for i := lo; i < hi; i++ {
-				h[bucket(xs[i])]++
-			}
-			private[w] = h
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		h := make([]int, buckets)
+		for i := lo; i < hi; i++ {
+			h[bucket(xs[i])]++
+		}
+		private[w] = h
+	})
 	// Merge bucket-parallel: each worker sums a band of buckets.
-	ForRange(buckets, Options{Procs: p, Grain: 64}, func(blo, bhi int) {
+	ForRange(buckets, Options{Procs: p, Grain: 64, Executor: opts.Executor}, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			s := 0
 			for w := 0; w < p; w++ {

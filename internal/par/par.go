@@ -10,6 +10,14 @@
 // pay per-chunk synchronization to fix the load imbalance caused by
 // skewed (e.g. power-law) work. Experiment E10 quantifies the tradeoff.
 //
+// All schedules dispatch onto the persistent executor runtime
+// (internal/exec): the process-wide worker pool by default, or a
+// dedicated pool pinned via Options.Executor. No goroutine is spawned
+// per call on the steady-state path, and nested parallel calls (a
+// primitive invoked from inside another primitive's body, or from a
+// sched task) are safe — the executor's caller-participation discipline
+// degrades them toward inline execution instead of deadlocking.
+//
 // All primitives are deterministic with respect to their results (order
 // of side effects is not specified); scan and reduce require associative
 // operators and are exact for integer types.
@@ -17,8 +25,9 @@ package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+
+	"repro/internal/exec"
 )
 
 // Policy selects how loop iterations are assigned to workers.
@@ -62,7 +71,8 @@ func (p Policy) String() string {
 var Policies = []Policy{Static, Cyclic, Dynamic, Guided}
 
 // Options configures a parallel primitive. The zero value requests
-// GOMAXPROCS workers, the Static policy, and a default grain.
+// GOMAXPROCS workers, the Static policy, a default grain, and the
+// process-wide shared executor.
 type Options struct {
 	// Procs is the number of workers; <= 0 means runtime.GOMAXPROCS(0).
 	Procs int
@@ -72,6 +82,10 @@ type Options struct {
 	// sequential cutoff below which primitives run serially; <= 0 means
 	// a policy-specific default.
 	Grain int
+	// Executor is the worker pool to dispatch onto; nil means the
+	// process-wide exec.Default(). Long-lived servers can pin a
+	// dedicated pool here to isolate a workload's parallelism.
+	Executor *exec.Executor
 }
 
 // DefaultGrain is the chunk size used when Options.Grain is unset.
@@ -89,6 +103,31 @@ func (o Options) grain() int {
 		return o.Grain
 	}
 	return DefaultGrain
+}
+
+func (o Options) executor() *exec.Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return exec.Default()
+}
+
+// ForWorkers executes fn(w) for every worker slot w in [0, p) on the
+// pool selected by opts, returning when all slots are done. It is the
+// fork/join primitive the blocked kernels build on (per-worker
+// reductions, count/scan/scatter phases): slot indices are stable, so
+// fn can own partial[w] without synchronization. fn must not block
+// waiting for another slot to start — when the pool is busy a single
+// participant may run all p slots sequentially (see exec.Run).
+func ForWorkers(p int, opts Options, fn func(w int)) {
+	if p <= 0 {
+		return
+	}
+	if p == 1 {
+		fn(0)
+		return
+	}
+	opts.executor().Run(p, fn)
 }
 
 // For executes body(i) for every i in [0, n) in parallel according to the
@@ -117,120 +156,101 @@ func ForRange(n int, opts Options, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	e := opts.executor()
 	switch opts.Policy {
-	case Static:
-		forStatic(n, p, body)
 	case Cyclic:
-		forCyclic(n, p, opts.grain(), body)
+		forCyclic(e, n, p, opts.grain(), body)
 	case Dynamic:
-		forDynamic(n, p, opts.grain(), body)
+		forDynamic(e, n, p, opts.grain(), body)
 	case Guided:
-		forGuided(n, p, opts.grain(), body)
+		forGuided(e, n, p, opts.grain(), body)
 	default:
-		forStatic(n, p, body)
+		forStatic(e, n, p, body)
 	}
 }
 
-// forStatic assigns worker w the contiguous block [w*n/p, (w+1)*n/p).
-func forStatic(n, p int, body func(lo, hi int)) {
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+// forStatic assigns slot w the contiguous block [w*n/p, (w+1)*n/p).
+func forStatic(e *exec.Executor, n, p int, body func(lo, hi int)) {
+	e.Run(p, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				body(lo, hi)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
 }
 
-// forCyclic deals grain-sized chunks round-robin: worker w gets chunks
+// forCyclic deals grain-sized chunks round-robin: slot w gets chunks
 // w, w+p, w+2p, ...
-func forCyclic(n, p, grain int, body func(lo, hi int)) {
+func forCyclic(e *exec.Executor, n, p, grain int, body func(lo, hi int)) {
 	chunks := (n + grain - 1) / grain
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for c := w; c < chunks; c += p {
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+	e.Run(p, func(w int) {
+		for c := w; c < chunks; c += p {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
 			}
-		}(w)
-	}
-	wg.Wait()
+			body(lo, hi)
+		}
+	})
 }
 
 // forDynamic hands out grain-sized chunks from a shared atomic cursor.
-func forDynamic(n, p, grain int, body func(lo, hi int)) {
+// Slots are interchangeable: every participant drains the same cursor.
+func forDynamic(e *exec.Executor, n, p, grain int, body func(lo, hi int)) {
 	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+	e.Run(p, func(int) {
+		for {
+			lo := int(cursor.Add(int64(grain))) - grain
+			if lo >= n {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	})
 }
 
 // forGuided hands out exponentially shrinking chunks: each grab takes
-// max(grain, remaining/(2p)) iterations.
-func forGuided(n, p, grain int, body func(lo, hi int)) {
-	var mu sync.Mutex
-	next := 0
-	grab := func() (lo, hi int, ok bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= n {
+// max(grain, remaining/(2p)) iterations. The cursor is advanced with a
+// CAS loop — unlike a mutex, a stalled grabber never blocks the others,
+// and the uncontended fast path is a single atomic.
+func forGuided(e *exec.Executor, n, p, grain int, body func(lo, hi int)) {
+	var cursor atomic.Int64
+	e.Run(p, func(int) {
+		for {
+			lo, hi, ok := guidedGrab(&cursor, n, p, grain)
+			if !ok {
+				return
+			}
+			body(lo, hi)
+		}
+	})
+}
+
+// guidedGrab claims the next guided chunk [lo, hi) or reports that the
+// iteration space is exhausted.
+func guidedGrab(cursor *atomic.Int64, n, p, grain int) (lo, hi int, ok bool) {
+	for {
+		cur := cursor.Load()
+		if cur >= int64(n) {
 			return 0, 0, false
 		}
-		remaining := n - next
+		remaining := n - int(cur)
 		size := remaining / (2 * p)
 		if size < grain {
 			size = grain
 		}
-		lo = next
-		hi = lo + size
-		if hi > n {
-			hi = n
+		next := int(cur) + size
+		if next > n {
+			next = n
 		}
-		next = hi
-		return lo, hi, true
+		if cursor.CompareAndSwap(cur, int64(next)) {
+			return int(cur), next, true
+		}
 	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo, hi, ok := grab()
-				if !ok {
-					return
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -1,7 +1,5 @@
 package par
 
-import "sync"
-
 // Reduce combines body(i) for all i in [0, n) with an associative operator
 // combine, starting from identity. Each worker reduces a contiguous block
 // locally and the per-worker partials are combined sequentially at the
@@ -26,21 +24,15 @@ func Reduce[T any](n int, opts Options, identity T, combine func(T, T) T, body f
 		return acc
 	}
 	partial := make([]T, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := identity
-			for i := lo; i < hi; i++ {
-				acc = combine(acc, body(i))
-			}
-			partial[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, body(i))
+		}
+		partial[w] = acc
+	})
 	acc := identity
 	for _, v := range partial {
 		acc = combine(acc, v)

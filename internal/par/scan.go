@@ -1,7 +1,5 @@
 package par
 
-import "sync"
-
 // Scan primitives implement parallel prefix sums, the canonical PRAM
 // building block (Blelloch 1990). The implementation is the practical
 // two-sweep blocked algorithm rather than the O(log n)-depth tree:
@@ -45,49 +43,38 @@ func scan[T any](dst, xs []T, opts Options, identity T, combine func(T, T) T, in
 	}
 	// Sweep 1: per-block reductions.
 	partial := make([]T, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := identity
-			for i := lo; i < hi; i++ {
-				acc = combine(acc, xs[i])
-			}
-			partial[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, xs[i])
+		}
+		partial[w] = acc
+	})
 	// Exclusive scan of the P partials (sequential; P is small).
 	acc := identity
 	for w := 0; w < p; w++ {
 		partial[w], acc = acc, combine(acc, partial[w])
 	}
 	// Sweep 2: rescan each block seeded with its offset.
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := partial[w]
-			if inclusive {
-				for i := lo; i < hi; i++ {
-					acc = combine(acc, xs[i])
-					dst[i] = acc
-				}
-			} else {
-				for i := lo; i < hi; i++ {
-					next := combine(acc, xs[i])
-					dst[i] = acc
-					acc = next
-				}
+		acc := partial[w]
+		if inclusive {
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, xs[i])
+				dst[i] = acc
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		} else {
+			for i := lo; i < hi; i++ {
+				next := combine(acc, xs[i])
+				dst[i] = acc
+				acc = next
+			}
+		}
+	})
 }
 
 func scanSeq[T any](dst, xs []T, identity T, combine func(T, T) T, inclusive bool) {

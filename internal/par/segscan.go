@@ -1,7 +1,5 @@
 package par
 
-import "sync"
-
 // Segmented scan (Blelloch): prefix sums restarted at segment heads.
 // It is the workhorse primitive behind nested data parallelism — the
 // flattened representation of "scan each subsequence independently" —
@@ -55,37 +53,26 @@ func SegScanInclusive[T any](dst, xs []T, flags []bool, opts Options, identity T
 		return
 	}
 	partial := make([]seg, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := seg{v: identity}
-			for i := lo; i < hi; i++ {
-				acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
-			}
-			partial[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		acc := seg{v: identity}
+		for i := lo; i < hi; i++ {
+			acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
+		}
+		partial[w] = acc
+	})
 	acc := seg{v: identity}
 	for w := 0; w < p; w++ {
 		partial[w], acc = acc, segCombine(acc, partial[w])
 	}
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	ForWorkers(p, opts, func(w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := partial[w]
-			for i := lo; i < hi; i++ {
-				acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
-				dst[i] = acc.v
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		acc := partial[w]
+		for i := lo; i < hi; i++ {
+			acc = segCombine(acc, seg{v: xs[i], f: flags[i]})
+			dst[i] = acc.v
+		}
+	})
 }
 
 // SegSums is SegScanInclusive specialized to integer addition.

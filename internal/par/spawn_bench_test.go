@@ -1,0 +1,50 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// BenchmarkForSpawnVsPooled measures the dispatch overhead the
+// persistent executor removes: the same parallel loop driven through
+// the shared pooled runtime versus a goroutine-spawning executor (the
+// pre-runtime behavior of par, one fresh goroutine per helper per
+// call). The gap is widest at small n, where per-call spawn cost
+// dominates the loop body.
+func BenchmarkForSpawnVsPooled(b *testing.B) {
+	spawning := exec.NewSpawning()
+	for _, n := range []int{256, 1 << 12, 1 << 16} {
+		for _, mode := range []struct {
+			name string
+			e    *exec.Executor
+		}{
+			{"pooled", nil}, // nil = shared exec.Default()
+			{"spawn", spawning},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				var sink atomic.Int64
+				// Procs is pinned above GOMAXPROCS so dispatch overhead is
+				// exercised even on small hosts; the executor bounds its
+				// helper count to the pool size, the spawning baseline
+				// spawns one goroutine per requested worker — exactly the
+				// per-call cost this benchmark exposes.
+				opts := Options{Procs: 8, Grain: 64, Executor: mode.e}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var local int64
+					ForRange(n, opts, func(lo, hi int) {
+						s := int64(0)
+						for j := lo; j < hi; j++ {
+							s += int64(j)
+						}
+						atomic.AddInt64(&local, s)
+					})
+					sink.Store(local)
+				}
+			})
+		}
+	}
+}

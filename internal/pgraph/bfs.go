@@ -1,7 +1,6 @@
 package pgraph
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -44,26 +43,20 @@ func expand(g *graph.Graph, frontier []int32, visited []atomic.Bool, depth []int
 		p = nf
 	}
 	locals := make([][]int32, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	par.ForWorkers(p, opts, func(w int) {
 		lo, hi := w*nf/p, (w+1)*nf/p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var out []int32
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				for _, u := range g.Neighbors(int(v)) {
-					if !visited[u].Load() && visited[u].CompareAndSwap(false, true) {
-						depth[u] = level
-						out = append(out, u)
-					}
+		var out []int32
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			for _, u := range g.Neighbors(int(v)) {
+				if !visited[u].Load() && visited[u].CompareAndSwap(false, true) {
+					depth[u] = level
+					out = append(out, u)
 				}
 			}
-			locals[w] = out
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		locals[w] = out
+	})
 	total := 0
 	for _, l := range locals {
 		total += len(l)

@@ -20,8 +20,8 @@ package psort
 
 import (
 	"sort"
-	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/seq"
@@ -54,20 +54,14 @@ func SampleSort(xs []int64, opts par.Options) {
 
 	// 2. Count phase: each worker histograms its block over the buckets.
 	counts := make([][]int, p) // counts[worker][bucket]
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	par.ForWorkers(p, opts, func(w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := make([]int, p)
-			for i := lo; i < hi; i++ {
-				c[bucketOf(xs[i], splitters)]++
-			}
-			counts[w] = c
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		c := make([]int, p)
+		for i := lo; i < hi; i++ {
+			c[bucketOf(xs[i], splitters)]++
+		}
+		counts[w] = c
+	})
 
 	// 3. Placement: exclusive scan in (bucket-major, worker-minor) order
 	// gives every (worker, bucket) pair a disjoint output range, making
@@ -89,24 +83,19 @@ func SampleSort(xs []int64, opts par.Options) {
 
 	// 4. Scatter into a scratch buffer.
 	buf := make([]int64, n)
-	wg.Add(p)
-	for w := 0; w < p; w++ {
+	par.ForWorkers(p, opts, func(w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			off := offsets[w]
-			for i := lo; i < hi; i++ {
-				b := bucketOf(xs[i], splitters)
-				buf[off[b]] = xs[i]
-				off[b]++
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		off := offsets[w]
+		for i := lo; i < hi; i++ {
+			b := bucketOf(xs[i], splitters)
+			buf[off[b]] = xs[i]
+			off[b]++
+		}
+	})
 
 	// 5. Per-bucket sorts, dynamically scheduled: bucket sizes vary, so
 	// dynamic scheduling absorbs the residual imbalance.
-	par.For(p, par.Options{Procs: p, Policy: par.Dynamic, Grain: 1}, func(b int) {
+	par.For(p, par.Options{Procs: p, Policy: par.Dynamic, Grain: 1, Executor: opts.Executor}, func(b int) {
 		seq.Quicksort(buf[bucketStart[b]:bucketStart[b+1]])
 	})
 	copy(xs, buf)
@@ -142,34 +131,41 @@ func MergeSort(xs []int64, opts par.Options) {
 		return
 	}
 	buf := make([]int64, n)
-	mergeSortRec(xs, buf, p, grain)
+	e := opts.Executor
+	if e == nil {
+		e = exec.Default()
+	}
+	mergeSortRec(xs, buf, p, grain, e)
 }
 
 // mergeSortRec sorts xs using buf as scratch; result lands in xs.
-// procs is the parallelism budget for this subtree.
-func mergeSortRec(xs, buf []int64, procs, grain int) {
+// procs is the parallelism budget for this subtree. The two halves are
+// forked as slots of one executor Run — the caller sorts one half
+// itself and a pooled helper (when one is free) sorts the other, so
+// the recursion spawns no goroutines and degrades to sequential
+// execution when the pool is saturated.
+func mergeSortRec(xs, buf []int64, procs, grain int, e *exec.Executor) {
 	n := len(xs)
 	if procs <= 1 || n <= grain {
 		seq.Quicksort(xs)
 		return
 	}
 	mid := n / 2
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		mergeSortRec(xs[:mid], buf[:mid], procs/2, grain)
-	}()
-	mergeSortRec(xs[mid:], buf[mid:], procs-procs/2, grain)
-	wg.Wait()
+	e.Run(2, func(half int) {
+		if half == 0 {
+			mergeSortRec(xs[mid:], buf[mid:], procs-procs/2, grain, e)
+		} else {
+			mergeSortRec(xs[:mid], buf[:mid], procs/2, grain, e)
+		}
+	})
 	// Parallel stable merge into buf, then copy back.
-	par.Merge(buf, xs[:mid], xs[mid:], par.Options{Procs: procs, Grain: grain},
+	par.Merge(buf, xs[:mid], xs[mid:], par.Options{Procs: procs, Grain: grain, Executor: e},
 		func(a, b int64) bool { return a < b })
-	copyParallel(xs, buf, procs)
+	copyParallel(xs, buf, procs, e)
 }
 
-func copyParallel(dst, src []int64, procs int) {
-	par.ForRange(len(src), par.Options{Procs: procs, Grain: 1 << 16}, func(lo, hi int) {
+func copyParallel(dst, src []int64, procs int, e *exec.Executor) {
+	par.ForRange(len(src), par.Options{Procs: procs, Grain: 1 << 16, Executor: e}, func(lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
 }
@@ -198,22 +194,16 @@ func RadixSort(xs []int64, opts par.Options) {
 	}
 	for shift := 0; shift < 64; shift += bits {
 		// Count phase.
-		var wg sync.WaitGroup
-		wg.Add(p)
-		for w := 0; w < p; w++ {
+		par.ForWorkers(p, opts, func(w int) {
+			c := counts[w]
+			for b := range c {
+				c[b] = 0
+			}
 			lo, hi := w*n/p, (w+1)*n/p
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				c := counts[w]
-				for b := range c {
-					c[b] = 0
-				}
-				for i := lo; i < hi; i++ {
-					c[(flip(src[i])>>shift)&mask]++
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
+			for i := lo; i < hi; i++ {
+				c[(flip(src[i])>>shift)&mask]++
+			}
+		})
 		// Skip degenerate passes (all keys share the digit).
 		first := (flip(src[0]) >> shift) & mask
 		allSame := true
@@ -236,20 +226,15 @@ func RadixSort(xs []int64, opts par.Options) {
 			}
 		}
 		// Scatter phase.
-		wg.Add(p)
-		for w := 0; w < p; w++ {
+		par.ForWorkers(p, opts, func(w int) {
 			lo, hi := w*n/p, (w+1)*n/p
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				off := counts[w]
-				for i := lo; i < hi; i++ {
-					b := (flip(src[i]) >> shift) & mask
-					dst[off[b]] = src[i]
-					off[b]++
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
+			off := counts[w]
+			for i := lo; i < hi; i++ {
+				b := (flip(src[i]) >> shift) & mask
+				dst[off[b]] = src[i]
+				off[b]++
+			}
+		})
 		src, dst = dst, src
 	}
 	if &src[0] != &xs[0] {

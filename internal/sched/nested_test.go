@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/par"
+)
+
+// Cross-layer nesting: both the loop primitives (par) and the task
+// scheduler (this package) dispatch onto one executor, so each must be
+// callable from inside the other without deadlock or lost work, even
+// on a pool far smaller than the requested parallelism. Run under -race.
+
+// TestParInsideSchedTasks calls par primitives from inside
+// work-stealing tasks sharing a tiny dedicated executor.
+func TestParInsideSchedTasks(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	pool := NewPoolOn(e, 4)
+	opts := par.Options{Procs: 4, Grain: 8, Policy: par.Guided, Executor: e}
+
+	const tasks, n = 16, 256
+	var total atomic.Int64
+	root := func(w *Worker) {
+		for k := 0; k < tasks; k++ {
+			w.Spawn(func(w *Worker) {
+				s := par.Reduce(n, opts, int64(0),
+					func(a, b int64) int64 { return a + b },
+					func(i int) int64 { return int64(i) })
+				total.Add(s)
+			})
+		}
+	}
+	pool.Run(root)
+	if want := int64(tasks) * int64(n*(n-1)/2); total.Load() != want {
+		t.Fatalf("total = %d, want %d", total.Load(), want)
+	}
+}
+
+// TestSchedInsideParBody issues fork/join rounds from inside a
+// parallel loop body on the shared executor.
+func TestSchedInsideParBody(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	var leaves atomic.Int64
+	par.For(8, par.Options{Procs: 8, Grain: 1, Executor: e}, func(i int) {
+		pool := NewPoolOn(e, 3)
+		var rec func(depth int) Task
+		rec = func(depth int) Task {
+			return func(w *Worker) {
+				if depth == 0 {
+					leaves.Add(1)
+					return
+				}
+				w.Spawn(rec(depth - 1))
+				w.Spawn(rec(depth - 1))
+			}
+		}
+		pool.Run(rec(5))
+	})
+	if want := int64(8 * 32); leaves.Load() != want {
+		t.Fatalf("leaves = %d, want %d", leaves.Load(), want)
+	}
+}
+
+// TestPoolsShareExecutor runs two pools concurrently on one executor.
+func TestPoolsShareExecutor(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	var a, b atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pool := NewPoolOn(e, 4)
+		pool.Run(func(w *Worker) {
+			for i := 0; i < 100; i++ {
+				w.Spawn(func(*Worker) { a.Add(1) })
+			}
+		})
+	}()
+	pool := NewPoolOn(e, 4)
+	pool.Run(func(w *Worker) {
+		for i := 0; i < 100; i++ {
+			w.Spawn(func(*Worker) { b.Add(1) })
+		}
+	})
+	<-done
+	if a.Load() != 100 || b.Load() != 100 {
+		t.Fatalf("a = %d, b = %d, want 100 each", a.Load(), b.Load())
+	}
+}

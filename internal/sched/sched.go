@@ -10,15 +10,24 @@
 // victim's deque when its own is empty (FIFO, stealing the largest
 // remaining subtrees).
 //
+// Pool is a thin adapter over the persistent executor runtime
+// (internal/exec): it owns the task deques and the termination
+// detection, but its worker loops run as slots of one exec.Run on the
+// shared process-wide pool (or a pool pinned with NewPoolOn), so
+// loop-level and task-level parallelism share one set of goroutines.
+// Because exec's caller participates in every Run, Pool.Run issued from
+// inside a par body or another Pool's task completes without
+// deadlocking even when the pool is saturated.
+//
 // Experiment E12 compares this scheduler against static loop
 // parallelization on irregular task trees.
 package sched
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/rng"
 )
 
@@ -26,53 +35,77 @@ import (
 // *Worker passed to them.
 type Task func(w *Worker)
 
-// Pool is a work-stealing scheduler with a fixed number of workers.
-// Create with NewPool; a Pool may execute many rounds of work via Run.
+// Pool is a work-stealing scheduler with a fixed number of worker
+// slots. Create with NewPool; a Pool may execute many rounds of work
+// via Run.
 type Pool struct {
-	workers []*Worker
-	procs   int
+	exec  *exec.Executor
+	slots []*slot
+	procs int
 
 	// Termination detection: count of in-flight (queued or executing)
 	// tasks. When it reaches zero, the round is over.
 	inflight atomic.Int64
-	done     chan struct{}
+
+	// Lanes with nothing to run park on cond rather than spinning —
+	// lanes occupy workers of a (possibly shared) fixed-size executor,
+	// so busy-waiting would burn CPU other traffic needs. queued counts
+	// pushed-but-not-popped tasks and idle counts parked lanes; Spawn's
+	// queued-then-idle accesses pair with the lane's idle-then-queued
+	// re-check (as in exec.Submit) so wakeups are never lost.
+	queued atomic.Int64
+	idle   atomic.Int32
+	mu     sync.Mutex
+	cond   *sync.Cond
 
 	// Steal statistics for the experiment harness.
 	steals   atomic.Int64
 	attempts atomic.Int64
 }
 
-// Worker is one scheduler thread's context. Tasks receive their worker so
-// spawns go to the local deque without synchronization on the happy path.
-type Worker struct {
-	pool  *Pool
-	id    int
-	deque *deque
+// slot is one scheduler lane: a deque plus the victim-selection rng of
+// whichever participant claims the lane during a Run. A slot is owned
+// by exactly one participant per round, so rnd needs no locking.
+type slot struct {
+	deque exec.Deque[Task]
 	rnd   *rng.Rand
 }
 
-// ID returns the worker's index in [0, Procs).
+// Worker is one scheduler lane's context during a Run. Tasks receive
+// their worker so spawns go to the local deque without synchronization
+// on the happy path.
+type Worker struct {
+	pool *Pool
+	id   int
+}
+
+// ID returns the worker's lane index in [0, Procs).
 func (w *Worker) ID() int { return w.id }
 
-// NewPool creates a scheduler with procs workers (<= 0 means 1).
-func NewPool(procs int) *Pool {
+// NewPool creates a scheduler with procs worker lanes (<= 0 means 1)
+// running on the shared process-wide executor.
+func NewPool(procs int) *Pool { return NewPoolOn(nil, procs) }
+
+// NewPoolOn creates a scheduler whose lanes run on executor e (nil
+// means exec.Default()). Long-lived servers can pin a dedicated
+// executor so task-parallel work is isolated from other traffic.
+func NewPoolOn(e *exec.Executor, procs int) *Pool {
 	if procs <= 0 {
 		procs = 1
 	}
-	p := &Pool{procs: procs}
-	p.workers = make([]*Worker, procs)
-	for i := range p.workers {
-		p.workers[i] = &Worker{
-			pool:  p,
-			id:    i,
-			deque: newDeque(),
-			rnd:   rng.New(uint64(0x5eed + i)),
-		}
+	if e == nil {
+		e = exec.Default()
+	}
+	p := &Pool{exec: e, procs: procs}
+	p.cond = sync.NewCond(&p.mu)
+	p.slots = make([]*slot, procs)
+	for i := range p.slots {
+		p.slots[i] = &slot{rnd: rng.New(uint64(0x5eed + i))}
 	}
 	return p
 }
 
-// Procs returns the number of workers.
+// Procs returns the number of worker lanes.
 func (p *Pool) Procs() int { return p.procs }
 
 // Steals returns the number of successful steals in the last Run.
@@ -83,127 +116,92 @@ func (p *Pool) StealAttempts() int64 { return p.attempts.Load() }
 
 // Spawn enqueues a child task on this worker's own deque.
 func (w *Worker) Spawn(t Task) {
-	w.pool.inflight.Add(1)
-	w.deque.pushBottom(t)
+	p := w.pool
+	p.inflight.Add(1)
+	p.slots[w.id].deque.PushBottom(t)
+	p.queued.Add(1)
+	if p.idle.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Signal()
+		p.mu.Unlock()
+	}
 }
 
-// Run executes root and everything it transitively spawns, returning when
-// all tasks have completed. Run must not be called concurrently with
-// itself on the same Pool.
+// Run executes root and everything it transitively spawns, returning
+// when all tasks have completed. Run must not be called concurrently
+// with itself on the same Pool (use separate Pools for concurrent
+// rounds; they may share one executor).
 func (p *Pool) Run(root Task) {
 	p.steals.Store(0)
 	p.attempts.Store(0)
-	p.done = make(chan struct{})
 	p.inflight.Store(1)
-	p.workers[0].deque.pushBottom(root)
-
-	var wg sync.WaitGroup
-	wg.Add(p.procs)
-	for _, w := range p.workers {
-		go func(w *Worker) {
-			defer wg.Done()
-			w.loop()
-		}(w)
-	}
-	wg.Wait()
+	p.slots[0].deque.PushBottom(root)
+	p.queued.Store(1)
+	p.exec.Run(p.procs, p.lane)
 }
 
-// loop is the worker scheduling loop: run local work; steal when empty;
-// exit when the round's inflight count reaches zero.
-func (w *Worker) loop() {
-	p := w.pool
+// lane is the scheduling loop for lane w: run local work; steal when
+// empty; park when there is nothing to steal; exit when the round's
+// inflight count reaches zero. It runs as one slot of an exec.Run, so
+// the Run caller drives lane 0 itself and lanes whose helper never
+// gets a pooled worker are simply covered by the participants that did
+// start — the round terminates either way.
+func (p *Pool) lane(id int) {
+	s := p.slots[id]
+	me := &Worker{pool: p, id: id}
 	for {
-		// Drain local deque.
+		// Drain the local deque.
 		for {
-			t, ok := w.deque.popBottom()
+			t, ok := s.deque.PopBottom()
 			if !ok {
 				break
 			}
-			w.exec(t)
+			p.queued.Add(-1)
+			p.runTask(t, me)
 		}
 		// Local deque empty: try to steal.
 		if p.inflight.Load() == 0 {
 			return
 		}
-		if t, ok := w.steal(); ok {
-			w.exec(t)
+		if t, ok := p.steal(id, s); ok {
+			p.runTask(t, me)
 			continue
 		}
-		// Nothing to steal right now. Yield the processor and retry
-		// until either work appears or the round terminates.
-		if p.inflight.Load() == 0 {
-			return
+		// Nothing to steal right now: park until a Spawn or the end of
+		// the round wakes us. Lanes occupy pooled workers, so spinning
+		// here would burn CPU that concurrent loop-parallel traffic on
+		// the same executor needs.
+		p.mu.Lock()
+		p.idle.Add(1)
+		if p.queued.Load() > 0 || p.inflight.Load() == 0 {
+			p.idle.Add(-1)
+			p.mu.Unlock()
+			continue
 		}
-		runtime.Gosched()
+		p.cond.Wait()
+		p.idle.Add(-1)
+		p.mu.Unlock()
 	}
 }
 
-func (w *Worker) exec(t Task) {
-	t(w)
-	w.pool.inflight.Add(-1)
+// runTask executes t on lane me and retires it; the task that drains
+// inflight to zero ends the round and wakes every parked lane so they
+// can observe termination and return.
+func (p *Pool) runTask(t Task, me *Worker) {
+	t(me)
+	if p.inflight.Add(-1) == 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
 }
 
 // steal picks random victims until one yields a task or all are empty.
-func (w *Worker) steal() (Task, bool) {
-	p := w.pool
-	n := len(p.workers)
-	if n == 1 {
-		return nil, false
+func (p *Pool) steal(self int, s *slot) (Task, bool) {
+	t, ok := exec.StealScan(func(i int) *exec.Deque[Task] { return &p.slots[i].deque },
+		len(p.slots), self, s.rnd, &p.attempts, &p.steals)
+	if ok {
+		p.queued.Add(-1)
 	}
-	start := w.rnd.Intn(n)
-	for k := 0; k < n; k++ {
-		v := p.workers[(start+k)%n]
-		if v == w {
-			continue
-		}
-		p.attempts.Add(1)
-		if t, ok := v.deque.stealTop(); ok {
-			p.steals.Add(1)
-			return t, true
-		}
-	}
-	return nil, false
-}
-
-// deque is a mutex-protected double-ended task queue. A lock-free
-// Chase–Lev deque would shave constants, but the mutex version is correct
-// by construction, contention is low (steals are rare when grain size is
-// right — exactly what E12 measures), and the engineering methodology
-// prefers the simplest implementation that meets the performance model.
-type deque struct {
-	mu    sync.Mutex
-	tasks []Task
-}
-
-func newDeque() *deque { return &deque{} }
-
-func (d *deque) pushBottom(t Task) {
-	d.mu.Lock()
-	d.tasks = append(d.tasks, t)
-	d.mu.Unlock()
-}
-
-func (d *deque) popBottom() (Task, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.tasks)
-	if n == 0 {
-		return nil, false
-	}
-	t := d.tasks[n-1]
-	d.tasks[n-1] = nil
-	d.tasks = d.tasks[:n-1]
-	return t, true
-}
-
-func (d *deque) stealTop() (Task, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.tasks) == 0 {
-		return nil, false
-	}
-	t := d.tasks[0]
-	d.tasks[0] = nil
-	d.tasks = d.tasks[1:]
-	return t, true
+	return t, ok
 }

@@ -3,6 +3,8 @@ package sched
 import (
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/exec"
 )
 
 func TestRunSingleTask(t *testing.T) {
@@ -125,31 +127,34 @@ func TestNewPoolClampsProcs(t *testing.T) {
 }
 
 func TestDequeLIFOBottomFIFOTop(t *testing.T) {
-	d := newDeque()
+	// The deque implementation is unified in internal/exec; this checks
+	// the owner-LIFO / thief-FIFO contract sched relies on, through the
+	// same instantiation sched uses.
+	var d exec.Deque[Task]
 	order := []int{}
 	mk := func(i int) Task { return func(w *Worker) { order = append(order, i) } }
-	d.pushBottom(mk(1))
-	d.pushBottom(mk(2))
-	d.pushBottom(mk(3))
-	if t1, ok := d.stealTop(); !ok {
-		t.Fatal("stealTop failed")
+	d.PushBottom(mk(1))
+	d.PushBottom(mk(2))
+	d.PushBottom(mk(3))
+	if t1, ok := d.StealTop(); !ok {
+		t.Fatal("StealTop failed")
 	} else {
 		t1(nil)
 	}
-	if t3, ok := d.popBottom(); !ok {
-		t.Fatal("popBottom failed")
+	if t3, ok := d.PopBottom(); !ok {
+		t.Fatal("PopBottom failed")
 	} else {
 		t3(nil)
 	}
-	if t2, ok := d.popBottom(); !ok {
-		t.Fatal("popBottom failed")
+	if t2, ok := d.PopBottom(); !ok {
+		t.Fatal("PopBottom failed")
 	} else {
 		t2(nil)
 	}
-	if _, ok := d.popBottom(); ok {
+	if _, ok := d.PopBottom(); ok {
 		t.Fatal("deque should be empty")
 	}
-	if _, ok := d.stealTop(); ok {
+	if _, ok := d.StealTop(); ok {
 		t.Fatal("deque should be empty")
 	}
 	want := []int{1, 3, 2}

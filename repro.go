@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -54,6 +55,11 @@ type (
 	Table = perf.Table
 	// ExperimentConfig scales the experiment suite.
 	ExperimentConfig = core.Config
+	// Executor is a persistent worker pool; every parallel primitive
+	// and kernel dispatches onto one (the shared process-wide pool by
+	// default). Pin a dedicated pool via Options.Executor to isolate a
+	// workload's parallelism in a long-lived server.
+	Executor = exec.Executor
 )
 
 // Scheduling policies.
@@ -63,6 +69,15 @@ const (
 	Dynamic = par.Dynamic
 	Guided  = par.Guided
 )
+
+// NewExecutor creates a dedicated persistent worker pool with procs
+// workers (<= 0 means GOMAXPROCS). Workers start lazily and park when
+// idle; Close releases them.
+func NewExecutor(procs int) *Executor { return exec.New(procs) }
+
+// DefaultExecutor returns the lazily started process-wide worker pool
+// that all primitives use when Options.Executor is nil.
+func DefaultExecutor() *Executor { return exec.Default() }
 
 // For executes body(i) for i in [0, n) in parallel.
 func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }
