@@ -11,8 +11,11 @@
 //
 // Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
 // selects the dispatch runtime (shared persistent pool, a dedicated
-// pool, or goroutine-per-call spawning) so the runtime overhead delta
-// is observable from the CLI.
+// pool, or goroutine-per-call spawning) and -scratch toggles the
+// scratch-arena buffer reuse, so the runtime-overhead and GC-pressure
+// deltas are both observable from the CLI. A summary line after the
+// experiments reports the executor's steal counters next to the
+// scratch pool's hit/miss/bytes gauges.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/perf"
+	"repro/internal/scratch"
 )
 
 func main() {
@@ -41,6 +45,8 @@ func main() {
 		list      = flag.Bool("list", false, "list the experiment index and exit")
 		executor  = flag.String("executor", "pooled",
 			"dispatch runtime: 'pooled' (shared persistent pool), 'dedicated' (fresh pool), or 'spawn' (goroutine per call)")
+		scratchMode = flag.String("scratch", "on",
+			"scratch-arena buffer reuse: 'on' (pooled temporaries) or 'off' (fresh allocation per call)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,14 @@ func main() {
 		cfg.Executor = exec.NewSpawning()
 	default:
 		fatalf("bad -executor %q: want pooled, dedicated, or spawn", *executor)
+	}
+	switch *scratchMode {
+	case "on", "":
+		// nil Scratch = the shared process-wide scratch pool.
+	case "off":
+		cfg.Scratch = scratch.Off
+	default:
+		fatalf("bad -scratch %q: want on or off", *scratchMode)
 	}
 	var err error
 	if cfg.Procs, err = parseInts(*procsFlag); err != nil {
@@ -92,6 +106,37 @@ func main() {
 				fatalf("csv: %v", err)
 			}
 		}
+	}
+	printRuntimeStats(cfg)
+}
+
+// printRuntimeStats reports the executor's steal counters alongside
+// the scratch pool's reuse gauges, so one run shows both halves of the
+// runtime's behavior: how work moved between workers and how buffer
+// memory was recycled.
+func printRuntimeStats(cfg core.Config) {
+	e := cfg.Executor
+	if e == nil {
+		e = exec.Default()
+	}
+	sp := cfg.Scratch
+	if sp == nil {
+		sp = scratch.Default()
+	}
+	st := sp.Stats()
+	fmt.Printf("runtime: steals=%d attempts=%d | scratch: hits=%d misses=%d bypasses=%d live=%s pooled=%s\n",
+		e.Steals(), e.StealAttempts(),
+		st.Hits, st.Misses, st.Bypasses, fmtBytes(st.BytesLive), fmtBytes(st.BytesPooled))
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/psort"
 	"repro/internal/pstencil"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 	"repro/internal/seq"
 )
 
@@ -40,12 +41,17 @@ type Config struct {
 	// goroutine-per-call dispatch (cmd/parbench -executor=spawn) so the
 	// runtime's own overhead is observable in the tables.
 	Executor *exec.Executor
+	// Scratch pins the scratch-buffer pool the same way: nil means the
+	// shared process-wide pool, scratch.Off reinstates fresh allocation
+	// per call (cmd/parbench -scratch=off) so the GC-pressure delta is
+	// observable.
+	Scratch *scratch.Pool
 }
 
 // opts builds the par.Options for one measured point, carrying the
-// harness executor into every kernel layer.
+// harness executor and scratch pool into every kernel layer.
 func (c Config) opts(procs int, pol par.Policy, grain int) par.Options {
-	return par.Options{Procs: procs, Policy: pol, Grain: grain, Executor: c.Executor}
+	return par.Options{Procs: procs, Policy: pol, Grain: grain, Executor: c.Executor, Scratch: c.Scratch}
 }
 
 func (c Config) procs() []int {

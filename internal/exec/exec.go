@@ -29,10 +29,16 @@
 //     and the wait-for graph follows the nesting tree (no cycles).
 //
 // Workers park on a condition variable when idle, so a persistent pool
-// in a long-lived server costs nothing between requests.
+// in a long-lived server costs nothing between requests. The fork/join
+// state itself is recycled through a per-executor free list (and each
+// worker's deque retains its capacity across steals), so the
+// steady-state Run path allocates nothing; RunArena additionally hands
+// every participant a worker-local scratch arena (internal/scratch)
+// for slot-scoped temporaries.
 package exec
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -40,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Task is a unit of work submitted to the pool.
@@ -66,12 +73,24 @@ type Executor struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
-	wg     sync.WaitGroup // live pooled workers, for Close
+	// down mirrors closed outside the lock so Submit can reject tasks
+	// on the fast path: enqueueing onto exited workers would lose the
+	// task forever and corrupt the pending gauge.
+	down atomic.Bool
+	wg   sync.WaitGroup // live pooled workers, for Close
 
 	// Observability gauges/counters.
 	steals   atomic.Int64
 	attempts atomic.Int64
 	blocking atomic.Int64 // dedicated goroutines live via Go
+
+	// Recycled fork/join states (see runState). An explicit free list
+	// rather than a sync.Pool: states are reclaimed on whatever worker
+	// deposited the last token, and sync.Pool's per-P private slots
+	// would hide those from the submitting goroutine (and drop them at
+	// GC), leaving Run allocating about half the time.
+	freeMu  sync.Mutex
+	freeRun *runState
 }
 
 type worker struct {
@@ -113,18 +132,31 @@ var (
 
 // Default returns the lazily created process-wide executor, sized to
 // GOMAXPROCS at first use (override with the REPRO_EXEC_PROCS
-// environment variable). It must never be closed.
+// environment variable; see README.md). It must never be closed.
 func Default() *Executor {
 	defaultOnce.Do(func() {
-		procs := 0
-		if s := os.Getenv("REPRO_EXEC_PROCS"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				procs = v
-			}
-		}
-		defaultExec = New(procs)
+		defaultExec = New(procsFromEnv())
 	})
 	return defaultExec
+}
+
+// procsFromEnv parses REPRO_EXEC_PROCS. Invalid values (non-numeric,
+// zero, negative) are rejected loudly on stderr rather than silently
+// ignored — a misspelled override that quietly falls back to
+// GOMAXPROCS is exactly the kind of unobservable configuration drift
+// the experiment harness exists to rule out.
+func procsFromEnv() int {
+	s := os.Getenv("REPRO_EXEC_PROCS")
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		fmt.Fprintf(os.Stderr,
+			"exec: ignoring invalid REPRO_EXEC_PROCS=%q (want a positive integer); using GOMAXPROCS\n", s)
+		return 0
+	}
+	return v
 }
 
 // Procs returns the number of pooled workers.
@@ -159,6 +191,7 @@ func (e *Executor) start() {
 // executor is a programming error; Close exists for dedicated pools in
 // tests and short-lived tools.
 func (e *Executor) Close() {
+	e.down.Store(true)
 	e.mu.Lock()
 	e.closed = true
 	e.cond.Broadcast()
@@ -167,10 +200,16 @@ func (e *Executor) Close() {
 }
 
 // Submit enqueues t for asynchronous execution on the pool (or spawns
-// a goroutine in spawn mode). Tasks must not block indefinitely on
-// other queued tasks starting — pooled workers are a fixed resource;
-// use Go for tasks that block (e.g. on barriers).
+// a goroutine in spawn mode). Submitting to a closed executor panics:
+// the workers have exited, so the task would sit on a dead deque
+// forever while the pending gauge silently corrupts. Tasks must not
+// block indefinitely on other queued tasks starting — pooled workers
+// are a fixed resource; use Go for tasks that block (e.g. on
+// barriers).
 func (e *Executor) Submit(t Task) {
+	if e.down.Load() {
+		panic("exec: Submit on closed Executor")
+	}
 	if e.spawn {
 		go t()
 		return
@@ -179,6 +218,14 @@ func (e *Executor) Submit(t Task) {
 	w := e.workers[e.submitIdx.Add(1)%uint64(len(e.workers))]
 	w.dq.PushBottom(t)
 	e.pending.Add(1)
+	// Re-check after the enqueue: a Close that raced past the gate
+	// above still panics here instead of silently stranding the task
+	// on an exited worker's deque. (A Close that begins strictly after
+	// this check drops the queued task under Close's documented
+	// semantics, like any other not-yet-started task.)
+	if e.down.Load() {
+		panic("exec: Submit on closed Executor")
+	}
 	if e.idle.Load() > 0 {
 		e.mu.Lock()
 		e.cond.Signal()
@@ -247,15 +294,69 @@ func (w *worker) stealAny() (Task, bool) {
 // count of participants actively inside the slot loop. The caller
 // joins by waiting for active to drain after exhausting the cursor
 // itself, so only started helpers are ever waited on.
+//
+// runStates are recycled through runPool so the steady-state fork/join
+// path allocates nothing. Recycling is only safe once every submitted
+// helper task has run (even trivially): a helper still sitting on a
+// deque holds st.task and would otherwise participate in whatever Run
+// the recycled state is reused for. Quiescence is detected with
+// reclaim tokens: each of the submitted helpers and the caller's own
+// participate deposits one token on exit, and the joiner deposits one
+// more after the join — whoever deposits the last token (and only that
+// party) recycles the state, so a state is never reused while any
+// goroutine still holds a reference.
 type runState struct {
 	slot func(w int)
-	p    int64
+	// slotA/sp select the arena flavor (RunArena): each participant
+	// acquires a worker-local scratch arena for the slots it runs.
+	slotA func(w int, a *scratch.Arena)
+	sp    *scratch.Pool
+	p     int64
 
 	next atomic.Int64 // next unclaimed slot
 
 	mu     sync.Mutex
 	cond   sync.Cond
-	active int // participants inside participate()
+	active int // participants inside the slot loop
+
+	task      Task         // st.participate as a Task, built once per runState
+	submitted int64        // helpers submitted for the current Run
+	tokens    atomic.Int64 // deposited reclaim tokens; full at submitted+2
+
+	e        *Executor // home executor, for the free list
+	freeNext *runState
+}
+
+// getRunState pops a recycled fork/join state or builds a fresh one.
+// The free list's high-water mark is the executor's peak number of
+// concurrent (including nested) Runs, so it stays small.
+func (e *Executor) getRunState() *runState {
+	e.freeMu.Lock()
+	st := e.freeRun
+	if st != nil {
+		e.freeRun = st.freeNext
+		st.freeNext = nil
+	}
+	e.freeMu.Unlock()
+	if st == nil {
+		st = &runState{e: e}
+		st.cond.L = &st.mu
+		st.task = st.participate
+	}
+	return st
+}
+
+// reclaim resets a fully quiesced runState and returns it to its
+// executor's free list.
+func (st *runState) reclaim() {
+	st.slot = nil
+	st.slotA = nil
+	st.sp = nil
+	e := st.e
+	e.freeMu.Lock()
+	st.freeNext = e.freeRun
+	e.freeRun = st
+	e.freeMu.Unlock()
 }
 
 // Run executes slot(w) for every w in [0, p), using the calling
@@ -275,14 +376,46 @@ func (e *Executor) Run(p int, slot func(w int)) {
 		slot(0)
 		return
 	}
-	st := &runState{slot: slot, p: int64(p)}
-	st.cond.L = &st.mu
+	st := e.getRunState()
+	st.slot = slot
+	e.runCommon(p, st)
+}
+
+// RunArena is Run with a worker-local scratch arena handed to every
+// slot. Each participant (pooled helper or the caller) acquires one
+// arena from sp (nil means scratch.Default()) and releases it after
+// its last slot, so slot bodies can Make temporaries with no
+// synchronization and no per-call allocation. Arena buffers are
+// slot-scoped: they must not outlive the participant — anything that
+// must survive the Run belongs to a caller-side arena instead (the
+// generation stamps turn most violations into panics).
+func (e *Executor) RunArena(p int, sp *scratch.Pool, slot func(w int, a *scratch.Arena)) {
+	if p <= 0 {
+		return
+	}
+	if p == 1 {
+		a := scratch.AcquireArena(sp)
+		defer a.Release()
+		slot(0, a)
+		return
+	}
+	st := e.getRunState()
+	st.slotA = slot
+	st.sp = sp
+	e.runCommon(p, st)
+}
+
+func (e *Executor) runCommon(p int, st *runState) {
+	st.p = int64(p)
+	st.next.Store(0)
+	st.tokens.Store(0)
 	helpers := p - 1
 	if !e.spawn && helpers > e.procs {
 		helpers = e.procs
 	}
+	st.submitted = int64(helpers)
 	for i := 0; i < helpers; i++ {
-		e.Submit(st.participate)
+		e.Submit(st.task)
 	}
 	st.participate()
 	// The caller exhausted the slot cursor above; wait for helpers that
@@ -292,12 +425,29 @@ func (e *Executor) Run(p int, slot func(w int)) {
 		st.cond.Wait()
 	}
 	st.mu.Unlock()
+	// Deposit the joiner's token. If helpers are still queued (they
+	// arrived after the slots were exhausted, or have not been popped
+	// yet), the last of them recycles the state instead.
+	st.deposit()
+}
+
+// deposit adds one reclaim token; the depositor of the last token
+// recycles the state. Tokens are deposited strictly after their owner
+// is done touching st, so a full count proves quiescence. need must be
+// read before the increment: a non-final deposit releases our claim on
+// st, after which the state may already belong to another Run.
+func (st *runState) deposit() {
+	need := st.submitted + 2
+	if st.tokens.Add(1) == need {
+		st.reclaim()
+	}
 }
 
 // participate claims and runs slots until none remain. Late arrivals
 // (all slots already claimed) return without registering, so the join
 // never waits on a helper that has not started.
 func (st *runState) participate() {
+	defer st.deposit()
 	if st.next.Load() >= st.p {
 		return
 	}
@@ -312,6 +462,17 @@ func (st *runState) participate() {
 		}
 		st.mu.Unlock()
 	}()
+	if st.slotA != nil {
+		a := scratch.AcquireArena(st.sp)
+		defer a.Release()
+		for {
+			w := st.next.Add(1) - 1
+			if w >= st.p {
+				return
+			}
+			st.slotA(int(w), a)
+		}
+	}
 	for {
 		w := st.next.Add(1) - 1
 		if w >= st.p {

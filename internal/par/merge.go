@@ -20,7 +20,7 @@ func Merge[T any](dst, a, b []T, opts Options, less func(x, y T) bool) {
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		mergeSeq(dst, a, b, less)
 		return
 	}

@@ -1,10 +1,14 @@
 package par
 
+import "repro/internal/scratch"
+
 // Pack (also known as filter or stream compaction) copies the elements of
 // xs satisfying pred into a new dense slice, preserving input order. It is
 // the classic scan application: count per block, prefix-sum the counts to
 // find output offsets, then copy per block — two passes, fully parallel,
-// stable.
+// stable. Only the returned slice is freshly allocated; the counts and
+// offsets come from the scratch pool (see PackInto for the fully
+// allocation-free form).
 //
 // pred must be pure: the two-pass structure evaluates it twice per
 // element in the parallel path.
@@ -17,7 +21,7 @@ func Pack[T any](xs []T, opts Options, pred func(T) bool) []T {
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		out := make([]T, 0, n/2)
 		for _, x := range xs {
 			if pred(x) {
@@ -26,7 +30,59 @@ func Pack[T any](xs []T, opts Options, pred func(T) bool) []T {
 		}
 		return out
 	}
-	counts := make([]int, p)
+	a := scratch.AcquireArena(opts.Scratch)
+	defer a.Release()
+	counts := scratch.Make[int](a, p)
+	offsets := scratch.Make[int](a, p)
+	countPred(counts, xs, n, p, opts, pred)
+	total := PrefixSumsInto(offsets, counts, Options{Procs: 1})
+	out := make([]T, total)
+	scatterPacked(out, xs, offsets, n, p, opts, pred)
+	return out
+}
+
+// PackInto packs the elements of xs satisfying pred into dst,
+// returning how many were written. dst must not alias xs and must have
+// length at least the number of survivors (len(dst) >= len(xs) always
+// suffices); it is the steady-state form kernels pair with scratch
+// buffers so packing allocates nothing.
+//
+// pred must be pure (evaluated twice per element in the parallel path).
+func PackInto[T any](dst, xs []T, opts Options, pred func(T) bool) int {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.serialCutoff() {
+		k := 0
+		for _, x := range xs {
+			if pred(x) {
+				dst[k] = x
+				k++
+			}
+		}
+		return k
+	}
+	a := scratch.AcquireArena(opts.Scratch)
+	defer a.Release()
+	counts := scratch.Make[int](a, p)
+	offsets := scratch.Make[int](a, p)
+	countPred(counts, xs, n, p, opts, pred)
+	total := PrefixSumsInto(offsets, counts, Options{Procs: 1})
+	if total > len(dst) {
+		panic("par: PackInto destination too short")
+	}
+	scatterPacked(dst, xs, offsets, n, p, opts, pred)
+	return total
+}
+
+// countPred is the shared count pass: worker w counts its block's
+// survivors.
+func countPred[T any](counts []int, xs []T, n, p int, opts Options, pred func(T) bool) {
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
@@ -38,20 +94,22 @@ func Pack[T any](xs []T, opts Options, pred func(T) bool) []T {
 		}
 		counts[w] = c
 	})
-	offsets, total := PrefixSums(counts, Options{Procs: 1})
-	out := make([]T, total)
+}
+
+// scatterPacked is the shared fill pass: worker w copies its block's
+// survivors to its precomputed output offset.
+func scatterPacked[T any](dst, xs []T, offsets []int, n, p int, opts Options, pred func(T) bool) {
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
 		o := offsets[w]
 		for i := lo; i < hi; i++ {
 			if pred(xs[i]) {
-				out[o] = xs[i]
+				dst[o] = xs[i]
 				o++
 			}
 		}
 	})
-	return out
 }
 
 // PackIndex returns the indices i in [0, n) for which pred(i) holds, in
@@ -68,7 +126,7 @@ func PackIndex(n int, opts Options, pred func(i int) bool) []int {
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		out := make([]int, 0, n/2)
 		for i := 0; i < n; i++ {
 			if pred(i) {
@@ -77,7 +135,52 @@ func PackIndex(n int, opts Options, pred func(i int) bool) []int {
 		}
 		return out
 	}
-	counts := make([]int, p)
+	a := scratch.AcquireArena(opts.Scratch)
+	defer a.Release()
+	counts := scratch.Make[int](a, p)
+	offsets := scratch.Make[int](a, p)
+	countIndex(counts, n, p, opts, pred)
+	total := PrefixSumsInto(offsets, counts, Options{Procs: 1})
+	out := make([]int, total)
+	scatterIndex(out, offsets, n, p, opts, pred)
+	return out
+}
+
+// PackIndexInto is PackIndex writing into a caller-owned dst (len(dst)
+// >= number of matches; n always suffices), returning the match count.
+// The allocation-free form iterative graph kernels use for frontiers.
+func PackIndexInto(dst []int, n int, opts Options, pred func(i int) bool) int {
+	if n == 0 {
+		return 0
+	}
+	p := opts.procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 || n <= opts.serialCutoff() {
+		k := 0
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				dst[k] = i
+				k++
+			}
+		}
+		return k
+	}
+	a := scratch.AcquireArena(opts.Scratch)
+	defer a.Release()
+	counts := scratch.Make[int](a, p)
+	offsets := scratch.Make[int](a, p)
+	countIndex(counts, n, p, opts, pred)
+	total := PrefixSumsInto(offsets, counts, Options{Procs: 1})
+	if total > len(dst) {
+		panic("par: PackIndexInto destination too short")
+	}
+	scatterIndex(dst, offsets, n, p, opts, pred)
+	return total
+}
+
+func countIndex(counts []int, n, p int, opts Options, pred func(i int) bool) {
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
@@ -89,60 +192,74 @@ func PackIndex(n int, opts Options, pred func(i int) bool) []int {
 		}
 		counts[w] = c
 	})
-	offsets, total := PrefixSums(counts, Options{Procs: 1})
-	out := make([]int, total)
+}
+
+func scatterIndex(dst []int, offsets []int, n, p int, opts Options, pred func(i int) bool) {
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
 		o := offsets[w]
 		for i := lo; i < hi; i++ {
 			if pred(i) {
-				out[o] = i
+				dst[o] = i
 				o++
 			}
 		}
 	})
-	return out
 }
 
 // Histogram counts occurrences of bucket(x) in [0, buckets) over xs using
 // per-worker private histograms merged at the end — the standard fix for
 // the atomic-contention anti-pattern of a single shared count array.
 func Histogram[T any](xs []T, buckets int, opts Options, bucket func(T) int) []int {
-	n := len(xs)
 	out := make([]int, buckets)
+	HistogramInto(out, xs, opts, bucket)
+	return out
+}
+
+// HistogramInto is Histogram writing into a caller-owned count array
+// (len(out) is the bucket count; it is fully overwritten). The private
+// per-worker histograms are one flat scratch block — p rows of buckets
+// counters — so the steady-state path allocates nothing.
+func HistogramInto[T any](out []int, xs []T, opts Options, bucket func(T) int) {
+	n := len(xs)
+	buckets := len(out)
 	if n == 0 || buckets == 0 {
-		return out
+		clear(out)
+		return
 	}
 	p := opts.procs()
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
+		clear(out)
 		for _, x := range xs {
 			out[bucket(x)]++
 		}
-		return out
+		return
 	}
-	private := make([][]int, p)
+	a := scratch.AcquireArena(opts.Scratch)
+	defer a.Release()
+	private := scratch.Make[int](a, p*buckets)
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
-		h := make([]int, buckets)
+		h := private[w*buckets : (w+1)*buckets]
+		clear(h)
 		for i := lo; i < hi; i++ {
 			h[bucket(xs[i])]++
 		}
-		private[w] = h
 	})
 	// Merge bucket-parallel: each worker sums a band of buckets.
-	ForRange(buckets, Options{Procs: p, Grain: 64, Executor: opts.Executor}, func(blo, bhi int) {
+	ForRange(buckets, Options{Procs: p, Grain: 64, SerialCutoff: 64,
+		Executor: opts.Executor, Scratch: opts.Scratch}, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			s := 0
 			for w := 0; w < p; w++ {
-				s += private[w][b]
+				s += private[w*buckets+b]
 			}
 			out[b] = s
 		}
 	})
-	return out
 }

@@ -17,6 +17,11 @@
 // primitive invoked from inside another primitive's body, or from a
 // sched task) are safe — the executor's caller-participation discipline
 // degrades them toward inline execution instead of deadlocking.
+// Working buffers (scan partials, pack counts, histogram privates)
+// come from the scratch-arena pool (internal/scratch, selected by
+// Options.Scratch), so steady-state calls allocate only O(1) closure
+// frames; the *Into variants (PackInto, HistogramInto, PrefixSumsInto,
+// PackIndexInto) extend that to the result buffers.
 //
 // All primitives are deterministic with respect to their results (order
 // of side effects is not specified); scan and reduce require associative
@@ -28,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/scratch"
 )
 
 // Policy selects how loop iterations are assigned to workers.
@@ -78,14 +84,25 @@ type Options struct {
 	Procs int
 	// Policy selects the schedule.
 	Policy Policy
-	// Grain is the minimum chunk size for Cyclic/Dynamic/Guided and the
-	// sequential cutoff below which primitives run serially; <= 0 means
-	// a policy-specific default.
+	// Grain is the minimum chunk size for Cyclic/Dynamic/Guided; <= 0
+	// means DefaultGrain. It controls chunking only — the serial
+	// fallback is SerialCutoff's job, so a large Grain no longer
+	// silently disables parallelism.
 	Grain int
+	// SerialCutoff is the problem size at or below which primitives run
+	// serially regardless of Procs (the parallel setup is not worth it
+	// below this); <= 0 means min(Grain, DefaultGrain). Set it to 1 to
+	// force the parallel path for any n > 1.
+	SerialCutoff int
 	// Executor is the worker pool to dispatch onto; nil means the
 	// process-wide exec.Default(). Long-lived servers can pin a
 	// dedicated pool here to isolate a workload's parallelism.
 	Executor *exec.Executor
+	// Scratch is the buffer pool kernels draw their reusable
+	// temporaries from; nil means the process-wide scratch.Default().
+	// scratch.Off disables reuse (fresh allocation per call), the
+	// baseline cmd/parbench -scratch=off measures against.
+	Scratch *scratch.Pool
 }
 
 // DefaultGrain is the chunk size used when Options.Grain is unset.
@@ -105,11 +122,34 @@ func (o Options) grain() int {
 	return DefaultGrain
 }
 
+func (o Options) serialCutoff() int {
+	if o.SerialCutoff > 0 {
+		return o.SerialCutoff
+	}
+	// Unset: a Grain below DefaultGrain keeps its historical second job
+	// as the cutoff (small grains mean "parallelize even tiny n"), but
+	// a Grain above it no longer silently disables an explicit
+	// parallelism request — that is SerialCutoff's job now.
+	if g := o.grain(); g < DefaultGrain {
+		return g
+	}
+	return DefaultGrain
+}
+
 func (o Options) executor() *exec.Executor {
 	if o.Executor != nil {
 		return o.Executor
 	}
 	return exec.Default()
+}
+
+// ScratchPool resolves Options.Scratch for kernel packages that draw
+// their own temporaries (psort, psel, plist, pgraph).
+func (o Options) ScratchPool() *scratch.Pool {
+	if o.Scratch != nil {
+		return o.Scratch
+	}
+	return scratch.Default()
 }
 
 // ForWorkers executes fn(w) for every worker slot w in [0, p) on the
@@ -128,6 +168,20 @@ func ForWorkers(p int, opts Options, fn func(w int)) {
 		return
 	}
 	opts.executor().Run(p, fn)
+}
+
+// ForWorkersArena is ForWorkers with a worker-local scratch arena
+// handed to each slot body. The arena belongs to the participant
+// running the slot (one acquire per participant, not per slot), so fn
+// can Make slot-scoped temporaries — per-worker staging buffers,
+// private accumulators — with no synchronization and no steady-state
+// allocation. Arena buffers must not outlive fn; state that must
+// survive the call belongs to a caller-side arena.
+func ForWorkersArena(p int, opts Options, fn func(w int, a *scratch.Arena)) {
+	if p <= 0 {
+		return
+	}
+	opts.executor().RunArena(p, opts.ScratchPool(), fn)
 }
 
 // For executes body(i) for every i in [0, n) in parallel according to the
@@ -152,7 +206,7 @@ func ForRange(n int, opts Options, body func(lo, hi int)) {
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		body(0, n)
 		return
 	}

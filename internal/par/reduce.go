@@ -1,5 +1,7 @@
 package par
 
+import "repro/internal/scratch"
+
 // Reduce combines body(i) for all i in [0, n) with an associative operator
 // combine, starting from identity. Each worker reduces a contiguous block
 // locally and the per-worker partials are combined sequentially at the
@@ -16,14 +18,15 @@ func Reduce[T any](n int, opts Options, identity T, combine func(T, T) T, body f
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		acc := identity
 		for i := 0; i < n; i++ {
 			acc = combine(acc, body(i))
 		}
 		return acc
 	}
-	partial := make([]T, p)
+	partial, ph := scratch.Get[T](opts.Scratch, p)
+	defer scratch.Put(ph)
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p

@@ -1,5 +1,7 @@
 package par
 
+import "repro/internal/scratch"
+
 // Scan primitives implement parallel prefix sums, the canonical PRAM
 // building block (Blelloch 1990). The implementation is the practical
 // two-sweep blocked algorithm rather than the O(log n)-depth tree:
@@ -37,12 +39,14 @@ func scan[T any](dst, xs []T, opts Options, identity T, combine func(T, T) T, in
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		scanSeq(dst, xs, identity, combine, inclusive)
 		return
 	}
-	// Sweep 1: per-block reductions.
-	partial := make([]T, p)
+	// Sweep 1: per-block reductions. The partials come from the scratch
+	// pool so the steady-state path allocates nothing.
+	partial, ph := scratch.Get[T](opts.Scratch, p)
+	defer scratch.Put(ph)
 	ForWorkers(p, opts, func(w int) {
 		lo := w * n / p
 		hi := (w + 1) * n / p
@@ -96,11 +100,21 @@ func scanSeq[T any](dst, xs []T, identity T, combine func(T, T) T, inclusive boo
 // PrefixSums computes the exclusive prefix sums of counts and the grand
 // total, the idiom used by every counting/packing kernel in the library
 // (sample sort bucket placement, radix sort, pack, CSR construction).
+// The offsets are freshly allocated; steady-state callers that own a
+// destination should use PrefixSumsInto.
 func PrefixSums(counts []int, opts Options) (offsets []int, total int) {
 	offsets = make([]int, len(counts))
+	total = PrefixSumsInto(offsets, counts, opts)
+	return offsets, total
+}
+
+// PrefixSumsInto is PrefixSums writing into a caller-owned offsets
+// slice (len(offsets) == len(counts)), the allocation-free form the
+// kernels use with scratch buffers.
+func PrefixSumsInto(offsets, counts []int, opts Options) (total int) {
 	ScanExclusive(offsets, counts, opts, 0, func(a, b int) int { return a + b })
 	if n := len(counts); n > 0 {
 		total = offsets[n-1] + counts[n-1]
 	}
-	return offsets, total
+	return total
 }

@@ -44,7 +44,7 @@ func SegScanInclusive[T any](dst, xs []T, flags []bool, opts Options, identity T
 	if p > n {
 		p = n
 	}
-	if p == 1 || n <= opts.grain() {
+	if p == 1 || n <= opts.serialCutoff() {
 		acc := seg{v: identity}
 		for i := 0; i < n; i++ {
 			acc = segCombine(acc, seg{v: xs[i], f: flags[i]})

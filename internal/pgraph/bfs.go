@@ -1,10 +1,12 @@
 package pgraph
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // BFS performs a level-synchronous parallel breadth-first search from
@@ -12,28 +14,39 @@ import (
 // expands the frontier in parallel; visited claims use CAS so every node
 // is discovered exactly once. Depths are deterministic (level-synchronous
 // BFS assigns the unique hop distance) even though the discovery order
-// within a level is not.
+// within a level — and hence the frontier's internal order — is not.
+//
+// The two frontier buffers ping-pong through a scratch arena and the
+// per-worker discovery staging lives in worker-local slot arenas, so
+// the per-level loop allocates nothing at steady state; only the
+// returned depth array is fresh.
 func BFS(g *graph.Graph, src int, opts par.Options) []int32 {
 	n := g.N()
 	depth := make([]int32, n)
 	par.For(n, opts, func(v int) { depth[v] = -1 })
 	visited := make([]atomic.Bool, n)
 
-	frontier := []int32{int32(src)}
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+	frontier := scratch.MakeCap[int32](a, 1, n)
+	next := scratch.MakeCap[int32](a, 0, n)
+	frontier[0] = int32(src)
 	visited[src].Store(true)
 	depth[src] = 0
 
 	for level := int32(1); len(frontier) > 0; level++ {
-		frontier = expand(g, frontier, visited, depth, level, opts)
+		frontier, next = expand(g, frontier, visited, depth, level, opts, next[:0]), frontier
 	}
 	return depth
 }
 
-// expand produces the next frontier from the current one. Work is
-// partitioned over frontier vertices; each worker accumulates discoveries
-// locally and the per-worker slices are concatenated — the standard
-// two-phase frontier construction avoiding a shared synchronized queue.
-func expand(g *graph.Graph, frontier []int32, visited []atomic.Bool, depth []int32, level int32, opts par.Options) []int32 {
+// expand produces the next frontier from the current one into next
+// (cap(next) must be at least g.N()). Work is partitioned over
+// frontier vertices; each worker stages its discoveries in a buffer
+// from its slot arena — sized by its block's out-degree sum, so the
+// stage never grows — and flushes them to next under a mutex once per
+// worker, avoiding a shared synchronized queue on the discovery path.
+func expand(g *graph.Graph, frontier []int32, visited []atomic.Bool, depth []int32, level int32, opts par.Options, next []int32) []int32 {
 	nf := len(frontier)
 	p := opts.Procs
 	if p <= 0 {
@@ -42,10 +55,14 @@ func expand(g *graph.Graph, frontier []int32, visited []atomic.Bool, depth []int
 	if p > nf {
 		p = nf
 	}
-	locals := make([][]int32, p)
-	par.ForWorkers(p, opts, func(w int) {
+	var mu sync.Mutex
+	par.ForWorkersArena(p, opts, func(w int, wa *scratch.Arena) {
 		lo, hi := w*nf/p, (w+1)*nf/p
-		var out []int32
+		bound := 0
+		for i := lo; i < hi; i++ {
+			bound += g.Degree(int(frontier[i]))
+		}
+		out := scratch.MakeCap[int32](wa, 0, bound)
 		for i := lo; i < hi; i++ {
 			v := frontier[i]
 			for _, u := range g.Neighbors(int(v)) {
@@ -55,16 +72,10 @@ func expand(g *graph.Graph, frontier []int32, visited []atomic.Bool, depth []int
 				}
 			}
 		}
-		locals[w] = out
+		mu.Lock()
+		next = append(next, out...)
+		mu.Unlock()
 	})
-	total := 0
-	for _, l := range locals {
-		total += len(l)
-	}
-	next := make([]int32, 0, total)
-	for _, l := range locals {
-		next = append(next, l...)
-	}
 	return next
 }
 

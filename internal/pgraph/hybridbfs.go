@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // BFSHybrid is a direction-optimizing BFS (Beamer, Asanović, Patterson
@@ -15,6 +16,10 @@ import (
 // only one edge per vertex on average instead of the frontier's entire
 // edge set — the classic constant-factor win this ablation measures
 // against the plain level-synchronous BFS.
+//
+// The frontier buffers, the bottom-up pack destination and the
+// in-frontier bitmap are all scratch-pooled (par.PackIndexInto does the
+// packing allocation-free), so levels allocate nothing at steady state.
 //
 // alpha is the top-down→bottom-up switch threshold: a level runs
 // bottom-up when the frontier's edge count exceeds m/alpha (14 is the
@@ -30,10 +35,15 @@ func BFSHybrid(g *graph.Graph, src int, alpha int, opts par.Options) []int32 {
 	visited[src].Store(true)
 	depth[src] = 0
 
-	frontier := []int32{int32(src)}
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+	frontier := scratch.MakeCap[int32](a, 1, n)
+	next := scratch.MakeCap[int32](a, 0, n)
+	packed := scratch.Make[int](a, n)            // bottom-up pack destination
+	inFrontier := scratch.MakeZeroed[bool](a, n) // rebuilt before each bottom-up level
+	frontier[0] = int32(src)
 	frontierEdges := g.Degree(src)
 	threshold := g.M() / alpha
-	inFrontier := make([]bool, n) // rebuilt before each bottom-up level
 
 	for level := int32(1); len(frontier) > 0; level++ {
 		if frontierEdges > threshold {
@@ -44,10 +54,10 @@ func BFSHybrid(g *graph.Graph, src int, alpha int, opts par.Options) []int32 {
 			for _, v := range frontier {
 				inFrontier[v] = true
 			}
-			// The predicate must be pure: PackIndex may evaluate it more
-			// than once (count pass + fill pass). Depth/visited updates
-			// are applied afterwards over the packed result.
-			next := par.PackIndex(n, opts, func(v int) bool {
+			// The predicate must be pure: PackIndexInto may evaluate it
+			// more than once (count pass + fill pass). Depth/visited
+			// updates are applied afterwards over the packed result.
+			found := par.PackIndexInto(packed, n, opts, func(v int) bool {
 				if visited[v].Load() {
 					return false
 				}
@@ -58,8 +68,9 @@ func BFSHybrid(g *graph.Graph, src int, alpha int, opts par.Options) []int32 {
 				}
 				return false
 			})
-			par.For(len(next), opts, func(i int) {
-				v := next[i]
+			discovered := packed[:found]
+			par.For(found, opts, func(i int) {
+				v := discovered[i]
 				depth[v] = level
 				visited[v].Store(true)
 			})
@@ -68,12 +79,12 @@ func BFSHybrid(g *graph.Graph, src int, alpha int, opts par.Options) []int32 {
 			}
 			frontier = frontier[:0]
 			frontierEdges = 0
-			for _, v := range next {
+			for _, v := range discovered {
 				frontier = append(frontier, int32(v))
 				frontierEdges += g.Degree(v)
 			}
 		} else {
-			frontier = expand(g, frontier, visited, depth, level, opts)
+			frontier, next = expand(g, frontier, visited, depth, level, opts, next[:0]), frontier
 			frontierEdges = 0
 			for _, v := range frontier {
 				frontierEdges += g.Degree(int(v))

@@ -13,27 +13,32 @@ package plist
 import (
 	"repro/internal/gen"
 	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // Rank returns each node's distance from the head (head = 0) using
 // synchronous pointer jumping with double buffering: every round halves
-// the remaining pointer distance, so ceil(log2 n) rounds suffice.
+// the remaining pointer distance, so ceil(log2 n) rounds suffice. The
+// four double-buffered jump arrays are scratch-pooled; only the
+// returned ranks are freshly allocated.
 func Rank(l *gen.List, opts par.Options) []int {
 	n := len(l.Next)
 	if n == 0 {
 		return nil
 	}
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
 	// dist[i] counts links from i to the tail; next doubles each round.
-	next := make([]int, n)
-	dist := make([]int, n)
+	next := scratch.Make[int](a, n)
+	dist := scratch.MakeZeroed[int](a, n)
 	par.For(n, opts, func(i int) {
 		next[i] = l.Next[i]
 		if l.Next[i] != i {
 			dist[i] = 1
 		}
 	})
-	next2 := make([]int, n)
-	dist2 := make([]int, n)
+	next2 := scratch.Make[int](a, n)
+	dist2 := scratch.Make[int](a, n)
 	for {
 		changed := par.Count(n, opts, func(i int) bool {
 			if next[i] == i {

@@ -15,25 +15,44 @@ package psel
 import (
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Select returns the k-th smallest element of xs (k is 0-based). It does
 // not modify xs. It panics if k is out of range.
+//
+// Each partitioning round packs the surviving side into one of two
+// scratch-pooled ping-pong buffers (par.PackInto), so a Select call
+// allocates nothing at steady state no matter how many rounds it runs.
 func Select(xs []int64, k int, opts par.Options) int64 {
 	if k < 0 || k >= len(xs) {
 		panic("psel: k out of range")
 	}
-	// Work on a copy at top level only; recursion packs into fresh
-	// slices anyway.
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+	// cur aliases xs until the first pack; after that it lives in the
+	// ping-pong buffers, which double as the mutable quickselect copy.
 	cur := xs
+	var ping, pong []int64
 	owned := false
 	r := rng.New(uint64(len(xs))*0x9E3779B9 + uint64(k) + 1)
+	pack := func(pred func(int64) bool) {
+		if ping == nil {
+			ping = scratch.Make[int64](a, len(xs))
+			pong = scratch.Make[int64](a, len(xs))
+		}
+		n := par.PackInto(ping, cur, opts, pred)
+		cur = ping[:n]
+		ping, pong = pong, ping
+		owned = true
+	}
 	for {
 		n := len(cur)
 		if n <= 4096 {
 			buf := cur
 			if !owned {
-				buf = append([]int64(nil), cur...)
+				buf = scratch.Make[int64](a, n)
+				copy(buf, cur)
 			}
 			return quickselect(buf, k)
 		}
@@ -42,14 +61,12 @@ func Select(xs []int64, k int, opts par.Options) int64 {
 		equal := par.Count(n, opts, func(i int) bool { return cur[i] == pivot })
 		switch {
 		case k < less:
-			cur = par.Pack(cur, opts, func(v int64) bool { return v < pivot })
-			owned = true
+			pack(func(v int64) bool { return v < pivot })
 		case k < less+equal:
 			return pivot
 		default:
-			cur = par.Pack(cur, opts, func(v int64) bool { return v > pivot })
+			pack(func(v int64) bool { return v > pivot })
 			k -= less + equal
-			owned = true
 		}
 	}
 }

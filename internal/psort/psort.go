@@ -24,6 +24,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 	"repro/internal/seq"
 )
 
@@ -31,7 +32,10 @@ import (
 // values even out bucket sizes at the cost of splitter-selection time.
 const oversample = 32
 
-// SampleSort sorts xs in place using opts.Procs workers.
+// SampleSort sorts xs in place using opts.Procs workers. All
+// temporaries — sample, splitters, the p×p count/offset matrices and
+// the n-element scatter buffer — come from the scratch pool, so
+// repeated sorts allocate nothing at steady state.
 func SampleSort(xs []int64, opts par.Options) {
 	n := len(xs)
 	p := workers(opts, n)
@@ -39,53 +43,54 @@ func SampleSort(xs []int64, opts par.Options) {
 		seq.Quicksort(xs)
 		return
 	}
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+
 	// 1. Splitter selection: sort a random sample, take p-1 regular
 	// splitters. Deterministic seed keeps runs reproducible.
 	r := rng.New(uint64(n)*0x9E3779B9 + uint64(p))
-	sample := make([]int64, p*oversample)
+	sample := scratch.Make[int64](a, p*oversample)
 	for i := range sample {
 		sample[i] = xs[r.Intn(n)]
 	}
 	seq.Quicksort(sample)
-	splitters := make([]int64, p-1)
+	splitters := scratch.Make[int64](a, p-1)
 	for i := 1; i < p; i++ {
 		splitters[i-1] = sample[i*oversample]
 	}
 
 	// 2. Count phase: each worker histograms its block over the buckets.
-	counts := make([][]int, p) // counts[worker][bucket]
+	// counts is a flat p×p matrix (row = worker, column = bucket).
+	counts := scratch.Make[int](a, p*p)
 	par.ForWorkers(p, opts, func(w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		c := make([]int, p)
+		c := counts[w*p : (w+1)*p]
+		clear(c)
 		for i := lo; i < hi; i++ {
 			c[bucketOf(xs[i], splitters)]++
 		}
-		counts[w] = c
 	})
 
 	// 3. Placement: exclusive scan in (bucket-major, worker-minor) order
 	// gives every (worker, bucket) pair a disjoint output range, making
 	// the scatter phase write-race-free and stable.
-	offsets := make([][]int, p)
-	for w := range offsets {
-		offsets[w] = make([]int, p)
-	}
+	offsets := scratch.Make[int](a, p*p)
 	pos := 0
-	bucketStart := make([]int, p+1)
+	bucketStart := scratch.Make[int](a, p+1)
 	for b := 0; b < p; b++ {
 		bucketStart[b] = pos
 		for w := 0; w < p; w++ {
-			offsets[w][b] = pos
-			pos += counts[w][b]
+			offsets[w*p+b] = pos
+			pos += counts[w*p+b]
 		}
 	}
 	bucketStart[p] = pos
 
 	// 4. Scatter into a scratch buffer.
-	buf := make([]int64, n)
+	buf := scratch.Make[int64](a, n)
 	par.ForWorkers(p, opts, func(w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		off := offsets[w]
+		off := offsets[w*p : (w+1)*p]
 		for i := lo; i < hi; i++ {
 			b := bucketOf(xs[i], splitters)
 			buf[off[b]] = xs[i]
@@ -95,7 +100,8 @@ func SampleSort(xs []int64, opts par.Options) {
 
 	// 5. Per-bucket sorts, dynamically scheduled: bucket sizes vary, so
 	// dynamic scheduling absorbs the residual imbalance.
-	par.For(p, par.Options{Procs: p, Policy: par.Dynamic, Grain: 1, Executor: opts.Executor}, func(b int) {
+	par.For(p, par.Options{Procs: p, Policy: par.Dynamic, Grain: 1, SerialCutoff: 1,
+		Executor: opts.Executor, Scratch: opts.Scratch}, func(b int) {
 		seq.Quicksort(buf[bucketStart[b]:bucketStart[b+1]])
 	})
 	copy(xs, buf)
@@ -130,12 +136,14 @@ func MergeSort(xs []int64, opts par.Options) {
 		seq.Quicksort(xs)
 		return
 	}
-	buf := make([]int64, n)
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+	buf := scratch.Make[int64](a, n)
 	e := opts.Executor
 	if e == nil {
 		e = exec.Default()
 	}
-	mergeSortRec(xs, buf, p, grain, e)
+	mergeSortRec(xs, buf, p, grain, e, opts.Scratch)
 }
 
 // mergeSortRec sorts xs using buf as scratch; result lands in xs.
@@ -144,7 +152,7 @@ func MergeSort(xs []int64, opts par.Options) {
 // itself and a pooled helper (when one is free) sorts the other, so
 // the recursion spawns no goroutines and degrades to sequential
 // execution when the pool is saturated.
-func mergeSortRec(xs, buf []int64, procs, grain int, e *exec.Executor) {
+func mergeSortRec(xs, buf []int64, procs, grain int, e *exec.Executor, sp *scratch.Pool) {
 	n := len(xs)
 	if procs <= 1 || n <= grain {
 		seq.Quicksort(xs)
@@ -153,19 +161,23 @@ func mergeSortRec(xs, buf []int64, procs, grain int, e *exec.Executor) {
 	mid := n / 2
 	e.Run(2, func(half int) {
 		if half == 0 {
-			mergeSortRec(xs[mid:], buf[mid:], procs-procs/2, grain, e)
+			mergeSortRec(xs[mid:], buf[mid:], procs-procs/2, grain, e, sp)
 		} else {
-			mergeSortRec(xs[:mid], buf[:mid], procs/2, grain, e)
+			mergeSortRec(xs[:mid], buf[:mid], procs/2, grain, e, sp)
 		}
 	})
-	// Parallel stable merge into buf, then copy back.
-	par.Merge(buf, xs[:mid], xs[mid:], par.Options{Procs: procs, Grain: grain, Executor: e},
+	// Parallel stable merge into buf, then copy back. grain doubles as
+	// the merge's serial cutoff: below it the recursion already ran
+	// sequentially, so the merge should too.
+	par.Merge(buf, xs[:mid], xs[mid:],
+		par.Options{Procs: procs, Grain: grain, SerialCutoff: grain, Executor: e, Scratch: sp},
 		func(a, b int64) bool { return a < b })
-	copyParallel(xs, buf, procs, e)
+	copyParallel(xs, buf, procs, e, sp)
 }
 
-func copyParallel(dst, src []int64, procs int, e *exec.Executor) {
-	par.ForRange(len(src), par.Options{Procs: procs, Grain: 1 << 16, Executor: e}, func(lo, hi int) {
+func copyParallel(dst, src []int64, procs int, e *exec.Executor, sp *scratch.Pool) {
+	par.ForRange(len(src), par.Options{Procs: procs, Grain: 1 << 16, SerialCutoff: 1 << 16,
+		Executor: e, Scratch: sp}, func(lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
 }
@@ -186,19 +198,17 @@ func RadixSort(xs []int64, opts par.Options) {
 	const bits = 8
 	const buckets = 1 << bits
 	const mask = buckets - 1
-	buf := make([]int64, n)
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+	buf := scratch.Make[int64](a, n)
 	src, dst := xs, buf
-	counts := make([][]int, p)
-	for w := range counts {
-		counts[w] = make([]int, buckets)
-	}
+	// counts is a flat p×buckets matrix (row = worker, column = digit).
+	counts := scratch.Make[int](a, p*buckets)
 	for shift := 0; shift < 64; shift += bits {
 		// Count phase.
 		par.ForWorkers(p, opts, func(w int) {
-			c := counts[w]
-			for b := range c {
-				c[b] = 0
-			}
+			c := counts[w*buckets : (w+1)*buckets]
+			clear(c)
 			lo, hi := w*n/p, (w+1)*n/p
 			for i := lo; i < hi; i++ {
 				c[(flip(src[i])>>shift)&mask]++
@@ -209,7 +219,7 @@ func RadixSort(xs []int64, opts par.Options) {
 		allSame := true
 		for w := 0; w < p && allSame; w++ {
 			for b := 0; b < buckets; b++ {
-				if counts[w][b] != 0 && uint64(b) != first {
+				if counts[w*buckets+b] != 0 && uint64(b) != first {
 					allSame = false
 					break
 				}
@@ -222,13 +232,13 @@ func RadixSort(xs []int64, opts par.Options) {
 		pos := 0
 		for b := 0; b < buckets; b++ {
 			for w := 0; w < p; w++ {
-				counts[w][b], pos = pos, pos+counts[w][b]
+				counts[w*buckets+b], pos = pos, pos+counts[w*buckets+b]
 			}
 		}
 		// Scatter phase.
 		par.ForWorkers(p, opts, func(w int) {
 			lo, hi := w*n/p, (w+1)*n/p
-			off := counts[w]
+			off := counts[w*buckets : (w+1)*buckets]
 			for i := lo; i < hi; i++ {
 				b := (flip(src[i]) >> shift) & mask
 				dst[off[b]] = src[i]

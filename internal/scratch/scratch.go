@@ -1,0 +1,353 @@
+// Package scratch is the worker-local scratch-arena subsystem: a
+// size-class-pooled allocator for the short-lived buffers every kernel
+// layer needs on its steady-state path (scan partials, pack counts and
+// offsets, per-worker histograms, sample-sort buckets, mergesort double
+// buffers, radix count arrays, graph frontiers).
+//
+// Motivation. The executor runtime (internal/exec) removed the
+// goroutine-spawn cost from every parallel call, but the kernels still
+// allocated fresh scratch on every invocation, so under heavy
+// concurrent traffic the hot path is GC-bound rather than
+// compute-bound. The paper's methodology separates the abstract
+// algorithm from its mapping to machine resources; memory reuse across
+// calls is the missing half of that mapping. scratch supplies it: a
+// buffer is requested with Get, used, and returned with Put, after
+// which the next request of a similar size reuses the same backing
+// memory instead of growing the heap.
+//
+// Mechanics. Backing memory is pooled in power-of-two size classes
+// (64 B up to 64 MiB) as raw pointer-free slabs; Get[T] carves a typed
+// slice out of a slab, so one pool serves every element type. Small
+// classes live in per-shard free lists (shard chosen by a cheap
+// goroutine-stack hash, so concurrent traffic spreads across mutexes);
+// large classes share a byte-capped global list. Element types that
+// contain pointers — or requests beyond the largest class — bypass the
+// pool and fall back to the ordinary allocator, so Get is always
+// correct and only POD buffers are reused.
+//
+// Ownership. A Get'ed buffer is exclusively owned until Put. Every
+// slab carries a generation stamp that is advanced on Put; a Handle
+// captures the stamp at Get time, so a double Put, a Put after the
+// owning Arena released the buffer, or a Check through a retained
+// handle panics instead of silently corrupting a reused buffer.
+//
+// Buffers are returned with whatever contents the previous user left
+// (like C malloc); use GetZeroed/MakeZeroed when the algorithm reads
+// before it writes.
+package scratch
+
+import (
+	"math/bits"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	minClassBytes = 64
+	// numClasses spans 64 B .. 64 MiB in power-of-two steps.
+	numClasses = 21
+	// maxClassBytes is the largest pooled request; bigger ones bypass.
+	maxClassBytes = minClassBytes << (numClasses - 1)
+	// largeClass is the first class handled by the global large list
+	// rather than the per-shard lists (1 MiB).
+	largeClass = 14
+	// smallCap bounds slabs kept per (shard, class).
+	smallCap = 8
+	// largeBytesCap bounds the bytes parked across all large classes.
+	largeBytesCap = 256 << 20
+	nshards       = 16
+)
+
+// slab is one pooled allocation: a pointer-free byte block of exactly
+// one size class, plus the generation stamp that invalidates handles.
+type slab struct {
+	pool  *Pool
+	mem   []byte
+	class int
+	gen   atomic.Uint32
+	next  *slab
+}
+
+// Handle names one outstanding Get for the matching Put. The zero
+// Handle (from a bypassed Get) is valid and Put ignores it.
+type Handle struct {
+	s   *slab
+	gen uint32
+}
+
+// Pooled reports whether the buffer came from the pool (false means
+// the request bypassed to the ordinary allocator).
+func (h Handle) Pooled() bool { return h.s != nil }
+
+type shard struct {
+	mu   sync.Mutex
+	free [largeClass]struct {
+		head *slab
+		n    int
+	}
+	_ [64]byte // avoid false sharing between shard mutexes
+}
+
+// Pool is a size-class buffer pool. The zero value is not usable;
+// use Default, New, or the process-wide Off sentinel.
+type Pool struct {
+	off    bool
+	shards [nshards]shard
+
+	largeMu    sync.Mutex
+	large      [numClasses]*slab
+	largeBytes int
+
+	arenaMu   sync.Mutex
+	arenaFree []*Arena
+
+	gets     atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	bypasses atomic.Int64
+	puts     atomic.Int64
+	drops    atomic.Int64
+	live     atomic.Int64
+	pooled   atomic.Int64
+}
+
+// New creates an empty pool.
+func New() *Pool { return &Pool{} }
+
+// Off is the disabled pool: every Get falls through to the ordinary
+// allocator (and Put is a no-op), reinstating the allocate-per-call
+// behavior as a measurable baseline (cmd/parbench -scratch=off).
+var Off = &Pool{off: true}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, which every kernel
+// uses unless par.Options.Scratch pins another.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New() })
+	return defaultPool
+}
+
+// Stats is a snapshot of a pool's counters. Hits+Misses+Bypasses ==
+// Gets; BytesLive tracks pooled bytes currently out on loan and
+// BytesPooled the bytes parked in free lists.
+type Stats struct {
+	Gets     int64 // all Get calls
+	Hits     int64 // served by reusing a pooled slab
+	Misses   int64 // pooled request that had to allocate a new slab
+	Bypasses int64 // ineligible type/size or disabled pool
+	Puts     int64 // buffers returned
+	Drops    int64 // returned slabs released to the GC (caps reached)
+	// BytesLive is pooled bytes currently out on loan (gauge).
+	BytesLive int64
+	// BytesPooled is bytes parked in free lists, ready for reuse (gauge).
+	BytesPooled int64
+}
+
+// Stats returns a snapshot of the pool's counters, the allocator-side
+// companion to the executor's steal counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:        p.gets.Load(),
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Bypasses:    p.bypasses.Load(),
+		Puts:        p.puts.Load(),
+		Drops:       p.drops.Load(),
+		BytesLive:   p.live.Load(),
+		BytesPooled: p.pooled.Load(),
+	}
+}
+
+// elemInfo reports the element size of T and whether []T may be carved
+// from a pooled pointer-free slab. Only plain scalar kinds qualify:
+// anything that can hold a pointer must stay on the ordinary heap so
+// the garbage collector can see it.
+func elemInfo[T any]() (size uintptr, ok bool) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return t.Size(), true
+	}
+	return 0, false
+}
+
+// classFor returns the size class covering a request of b bytes.
+func classFor(b int) int {
+	if b <= minClassBytes {
+		return 0
+	}
+	return bits.Len(uint(b-1)) - 6
+}
+
+func classBytes(c int) int { return minClassBytes << c }
+
+// shardIdx picks a free-list shard from the caller's stack address — a
+// cheap goroutine-local hint that spreads concurrent traffic across
+// the shard mutexes without any goroutine identity API. The 64 KiB
+// granularity keeps one goroutine's frames (and thus its Get/Put
+// pairs) on one shard at any call depth; distinct goroutines' stacks
+// land in distinct regions with high probability.
+func shardIdx() int {
+	var x byte
+	return int((uintptr(unsafe.Pointer(&x)) >> 16) % nshards)
+}
+
+// Get returns a []T of length n (with any extra slab capacity exposed
+// via cap) and the Handle to Put it back with. Contents are
+// unspecified unless the request bypassed the pool. p == nil means
+// Default().
+func Get[T any](p *Pool, n int) ([]T, Handle) {
+	return get[T](p, n, n, false)
+}
+
+// GetZeroed is Get with the first n elements cleared.
+func GetZeroed[T any](p *Pool, n int) ([]T, Handle) {
+	return get[T](p, n, n, true)
+}
+
+// GetCap is Get returning a slice of length n and capacity at least c
+// (for append-style use where the bound is known).
+func GetCap[T any](p *Pool, n, c int) ([]T, Handle) {
+	if c < n {
+		c = n
+	}
+	return get[T](p, n, c, false)
+}
+
+func get[T any](p *Pool, n, c int, zero bool) ([]T, Handle) {
+	if p == nil {
+		p = Default()
+	}
+	if n < 0 || c < n {
+		panic("scratch: Get with negative or inconsistent length")
+	}
+	p.gets.Add(1)
+	sz, podOK := elemInfo[T]()
+	bytes := 0
+	if podOK && c > 0 {
+		if c > int(uintptr(maxClassBytes)/sz) {
+			podOK = false // request larger than the largest class
+		} else {
+			bytes = c * int(sz)
+		}
+	}
+	if p.off || !podOK || c == 0 {
+		p.bypasses.Add(1)
+		return make([]T, n, c), Handle{}
+	}
+	class := classFor(bytes)
+	s := p.take(class)
+	if s == nil {
+		p.misses.Add(1)
+		s = &slab{pool: p, mem: make([]byte, classBytes(class)), class: class}
+	} else {
+		p.hits.Add(1)
+	}
+	p.live.Add(int64(classBytes(class)))
+	buf := unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(s.mem))), uintptr(len(s.mem))/sz)[:n]
+	if zero {
+		clear(buf)
+	}
+	return buf, Handle{s: s, gen: s.gen.Load()}
+}
+
+// take pops a free slab of the class, or returns nil.
+func (p *Pool) take(class int) *slab {
+	if class >= largeClass {
+		p.largeMu.Lock()
+		s := p.large[class]
+		if s != nil {
+			p.large[class] = s.next
+			p.largeBytes -= classBytes(class)
+		}
+		p.largeMu.Unlock()
+		if s != nil {
+			p.pooled.Add(-int64(classBytes(class)))
+			s.next = nil
+		}
+		return s
+	}
+	sh := &p.shards[shardIdx()]
+	sh.mu.Lock()
+	f := &sh.free[class]
+	s := f.head
+	if s != nil {
+		f.head = s.next
+		f.n--
+	}
+	sh.mu.Unlock()
+	if s != nil {
+		p.pooled.Add(-int64(classBytes(class)))
+		s.next = nil
+	}
+	return s
+}
+
+// Put returns a buffer to its pool. The zero Handle (a bypassed Get)
+// is a no-op. Putting the same Handle twice, or a handle whose buffer
+// an Arena already released, panics: the generation stamp recorded at
+// Get time no longer matches the slab's.
+func Put(h Handle) {
+	s := h.s
+	if s == nil {
+		return
+	}
+	if !s.gen.CompareAndSwap(h.gen, h.gen+1) {
+		panic("scratch: Put of stale handle (double Put or use after Release)")
+	}
+	p := s.pool
+	p.puts.Add(1)
+	p.live.Add(-int64(classBytes(s.class)))
+	p.park(s)
+}
+
+// Check panics if h has already been Put (or released); it is the
+// debugging hook for asserting a retained buffer is still owned.
+func Check(h Handle) {
+	if h.s != nil && h.s.gen.Load() != h.gen {
+		panic("scratch: use of buffer after Put")
+	}
+}
+
+// park returns a slab to a free list, or drops it for the GC when the
+// class or byte caps are reached.
+func (p *Pool) park(s *slab) {
+	cb := classBytes(s.class)
+	if s.class >= largeClass {
+		p.largeMu.Lock()
+		if p.largeBytes+cb > largeBytesCap {
+			p.largeMu.Unlock()
+			p.drops.Add(1)
+			return
+		}
+		s.next = p.large[s.class]
+		p.large[s.class] = s
+		p.largeBytes += cb
+		p.largeMu.Unlock()
+		p.pooled.Add(int64(cb))
+		return
+	}
+	sh := &p.shards[shardIdx()]
+	sh.mu.Lock()
+	f := &sh.free[s.class]
+	if f.n >= smallCap {
+		sh.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
+	s.next = f.head
+	f.head = s
+	f.n++
+	sh.mu.Unlock()
+	p.pooled.Add(int64(cb))
+}

@@ -1,0 +1,255 @@
+package scratch
+
+import (
+	"repro/internal/racecheck"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestGetPutReuse(t *testing.T) {
+	p := New()
+	a, h := Get[int64](p, 100)
+	if len(a) != 100 {
+		t.Fatalf("len = %d, want 100", len(a))
+	}
+	for i := range a {
+		a[i] = int64(i)
+	}
+	base := &a[0]
+	Put(h)
+	b, h2 := Get[int64](p, 100)
+	if &b[0] != base {
+		t.Errorf("second Get did not reuse the slab")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	Put(h2)
+}
+
+func TestSizeClassSharing(t *testing.T) {
+	// A smaller request of a different type reuses the same class slab.
+	p := New()
+	a, h := Get[int64](p, 64) // 512 B class
+	base := &a[0]
+	Put(h)
+	b, h2 := Get[int32](p, 100) // 400 B -> same 512 B class
+	if len(b) == 0 || unsafe.Pointer(&b[0]) != unsafe.Pointer(base) {
+		t.Errorf("class not shared across element types")
+	}
+	Put(h2)
+}
+
+func TestDoublePutPanics(t *testing.T) {
+	p := New()
+	_, h := Get[int](p, 10)
+	Put(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double Put did not panic")
+		}
+	}()
+	Put(h)
+}
+
+func TestCheckAfterPutPanics(t *testing.T) {
+	p := New()
+	_, h := Get[int](p, 10)
+	Check(h) // live: fine
+	Put(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Check after Put did not panic")
+		}
+	}()
+	Check(h)
+}
+
+func TestPointerTypesBypass(t *testing.T) {
+	p := New()
+	s, h := Get[[]int](p, 5) // slice elements hold pointers
+	if h.Pooled() {
+		t.Fatalf("pointer-bearing element type must bypass the pool")
+	}
+	if len(s) != 5 {
+		t.Fatalf("bypass len = %d, want 5", len(s))
+	}
+	type pair struct{ a, b int }
+	_, h2 := Get[pair](p, 5) // structs stay on the ordinary heap too
+	if h2.Pooled() {
+		t.Fatalf("struct element type must bypass the pool")
+	}
+	Put(h)  // no-ops
+	Put(h2) // no-ops
+	if st := p.Stats(); st.Bypasses != 2 {
+		t.Errorf("bypasses = %d, want 2", st.Bypasses)
+	}
+}
+
+func TestOversizeBypasses(t *testing.T) {
+	p := New()
+	_, h := Get[int64](p, maxClassBytes/8+1)
+	if h.Pooled() {
+		t.Fatalf("oversize request must bypass")
+	}
+}
+
+func TestOffPoolBypasses(t *testing.T) {
+	buf, h := Get[int64](Off, 100)
+	if h.Pooled() || len(buf) != 100 {
+		t.Fatalf("Off pool must bypass")
+	}
+	Put(h)
+}
+
+func TestGetZeroed(t *testing.T) {
+	p := New()
+	a, h := Get[int64](p, 50)
+	for i := range a {
+		a[i] = -1
+	}
+	Put(h)
+	b, h2 := GetZeroed[int64](p, 50)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("b[%d] = %d after GetZeroed", i, v)
+		}
+	}
+	Put(h2)
+}
+
+func TestGetCapAppend(t *testing.T) {
+	p := New()
+	buf, h := GetCap[int32](p, 0, 1000)
+	if cap(buf) < 1000 {
+		t.Fatalf("cap = %d, want >= 1000", cap(buf))
+	}
+	for i := 0; i < 1000; i++ {
+		buf = append(buf, int32(i)) // must never reallocate
+	}
+	Put(h)
+	st := p.Stats()
+	if st.Misses != 1 {
+		t.Errorf("append grew past the slab: misses = %d", st.Misses)
+	}
+}
+
+func TestArenaRelease(t *testing.T) {
+	p := New()
+	a := AcquireArena(p)
+	x := Make[int64](a, 100)
+	y := MakeZeroed[int](a, 200)
+	_ = MakeCap[int32](a, 0, 50)
+	if len(x) != 100 || len(y) != 200 {
+		t.Fatalf("bad lengths")
+	}
+	a.Release()
+	if st := p.Stats(); st.BytesLive != 0 {
+		t.Errorf("BytesLive = %d after Release, want 0", st.BytesLive)
+	}
+	// The arena itself is recycled.
+	b := AcquireArena(p)
+	if b != a {
+		t.Errorf("arena not recycled")
+	}
+	b.Release()
+}
+
+func TestArenaDoubleReleasePanics(t *testing.T) {
+	p := New()
+	a := AcquireArena(p)
+	_ = Make[int](a, 8)
+	a.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double Release did not panic")
+		}
+	}()
+	a.Release()
+}
+
+func TestArenaMakeAfterReleasePanics(t *testing.T) {
+	p := New()
+	a := AcquireArena(p)
+	a.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Make after Release did not panic")
+		}
+	}()
+	_ = Make[int](a, 8)
+}
+
+func TestBytesGauges(t *testing.T) {
+	p := New()
+	_, h := Get[int64](p, 1024) // 8 KiB class
+	st := p.Stats()
+	if st.BytesLive != 8192 {
+		t.Errorf("BytesLive = %d, want 8192", st.BytesLive)
+	}
+	Put(h)
+	st = p.Stats()
+	if st.BytesLive != 0 || st.BytesPooled != 8192 {
+		t.Errorf("after Put: live=%d pooled=%d, want 0/8192", st.BytesLive, st.BytesPooled)
+	}
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a := AcquireArena(p)
+				x := Make[int64](a, 64+i%1000)
+				for j := range x {
+					x[j] = int64(g)
+				}
+				for _, v := range x {
+					if v != int64(g) {
+						t.Errorf("cross-goroutine scribble: got %d want %d", v, g)
+						break
+					}
+				}
+				a.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.BytesLive != 0 {
+		t.Errorf("BytesLive = %d after quiesce", st.BytesLive)
+	}
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("race instrumentation allocates")
+	}
+	p := New()
+	warm := func() {
+		a := AcquireArena(p)
+		_ = Make[int64](a, 4096)
+		_ = MakeZeroed[int](a, 256)
+		a.Release()
+	}
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n > 0 {
+		t.Errorf("steady-state arena cycle allocates %.1f times/run, want 0", n)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ b, class int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, largeClass}, {maxClassBytes, numClasses - 1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.b); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.b, got, c.class)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/psel"
 	"repro/internal/psort"
 	"repro/internal/pstencil"
+	"repro/internal/scratch"
 	"repro/internal/seq"
 )
 
@@ -60,6 +61,13 @@ type (
 	// default). Pin a dedicated pool via Options.Executor to isolate a
 	// workload's parallelism in a long-lived server.
 	Executor = exec.Executor
+	// ScratchPool is a size-class pool of reusable kernel temporaries;
+	// every kernel draws scratch from one (the shared process-wide pool
+	// by default). Pin a dedicated pool via Options.Scratch, or set
+	// Options.Scratch = ScratchOff to disable reuse.
+	ScratchPool = scratch.Pool
+	// ScratchStats is a snapshot of a scratch pool's reuse counters.
+	ScratchStats = scratch.Stats
 )
 
 // Scheduling policies.
@@ -78,6 +86,21 @@ func NewExecutor(procs int) *Executor { return exec.New(procs) }
 // DefaultExecutor returns the lazily started process-wide worker pool
 // that all primitives use when Options.Executor is nil.
 func DefaultExecutor() *Executor { return exec.Default() }
+
+// ScratchOff disables scratch-buffer reuse when assigned to
+// Options.Scratch: every kernel temporary is freshly allocated, the
+// baseline the pooled steady state is measured against.
+var ScratchOff = scratch.Off
+
+// NewScratchPool creates a dedicated scratch-buffer pool; pin it via
+// Options.Scratch to isolate a workload's buffer reuse (and its Stats)
+// from the rest of the process.
+func NewScratchPool() *ScratchPool { return scratch.New() }
+
+// DefaultScratchStats returns the reuse counters of the process-wide
+// scratch pool — the allocator-side companion to the executor's steal
+// counters.
+func DefaultScratchStats() ScratchStats { return scratch.Default().Stats() }
 
 // For executes body(i) for i in [0, n) in parallel.
 func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }
