@@ -11,11 +11,15 @@
 //
 // Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
 // selects the dispatch runtime (shared persistent pool, a dedicated
-// pool, or goroutine-per-call spawning) and -scratch toggles the
-// scratch-arena buffer reuse, so the runtime-overhead and GC-pressure
-// deltas are both observable from the CLI. A summary line after the
-// experiments reports the executor's steal counters next to the
-// scratch pool's hit/miss/bytes gauges.
+// pool, or goroutine-per-call spawning), -scratch toggles the
+// scratch-arena buffer reuse, and -adapt=on replaces every hard-coded
+// grain/policy/cutoff with the online load-aware tuning runtime
+// (internal/adapt), so the runtime-overhead, GC-pressure and
+// self-tuning deltas are all observable from the CLI. A summary line
+// after the experiments reports the executor's steal counters next to
+// the scratch pool's hit/miss/bytes gauges (plus, with -adapt=on, the
+// controller's site/exploration/convergence counters). Unknown flag
+// values are rejected with a usage error, never silently defaulted.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/perf"
@@ -47,6 +52,8 @@ func main() {
 			"dispatch runtime: 'pooled' (shared persistent pool), 'dedicated' (fresh pool), or 'spawn' (goroutine per call)")
 		scratchMode = flag.String("scratch", "on",
 			"scratch-arena buffer reuse: 'on' (pooled temporaries) or 'off' (fresh allocation per call)")
+		adaptMode = flag.String("adapt", "off",
+			"online load-aware tuning: 'on' (grain/policy/cutoffs picked per call site by the adapt runtime) or 'off'")
 	)
 	flag.Parse()
 
@@ -59,25 +66,16 @@ func main() {
 	}
 
 	cfg := core.Config{Quick: *quick, Reps: *reps, Seed: *seed}
-	switch *executor {
-	case "pooled", "":
-		// nil Executor = the shared process-wide pool.
-	case "dedicated":
-		cfg.Executor = exec.New(0)
-	case "spawn":
-		cfg.Executor = exec.NewSpawning()
-	default:
-		fatalf("bad -executor %q: want pooled, dedicated, or spawn", *executor)
-	}
-	switch *scratchMode {
-	case "on", "":
-		// nil Scratch = the shared process-wide scratch pool.
-	case "off":
-		cfg.Scratch = scratch.Off
-	default:
-		fatalf("bad -scratch %q: want on or off", *scratchMode)
-	}
 	var err error
+	if cfg.Executor, err = executorFor(*executor); err != nil {
+		fatalf("%v", err)
+	}
+	if cfg.Scratch, err = scratchFor(*scratchMode); err != nil {
+		fatalf("%v", err)
+	}
+	if cfg.Adaptive, err = adaptFor(*adaptMode); err != nil {
+		fatalf("%v", err)
+	}
 	if cfg.Procs, err = parseInts(*procsFlag); err != nil {
 		fatalf("bad -procs: %v", err)
 	}
@@ -110,10 +108,47 @@ func main() {
 	printRuntimeStats(cfg)
 }
 
+// executorFor resolves the -executor flag mode; unknown values are an
+// error, never a silent default.
+func executorFor(mode string) (*exec.Executor, error) {
+	switch mode {
+	case "pooled", "":
+		return nil, nil // nil = the shared process-wide pool
+	case "dedicated":
+		return exec.New(0), nil
+	case "spawn":
+		return exec.NewSpawning(), nil
+	}
+	return nil, fmt.Errorf("bad -executor %q: want pooled, dedicated, or spawn", mode)
+}
+
+// scratchFor resolves the -scratch flag mode.
+func scratchFor(mode string) (*scratch.Pool, error) {
+	switch mode {
+	case "on", "":
+		return nil, nil // nil = the shared process-wide scratch pool
+	case "off":
+		return scratch.Off, nil
+	}
+	return nil, fmt.Errorf("bad -scratch %q: want on or off", mode)
+}
+
+// adaptFor resolves the -adapt flag mode.
+func adaptFor(mode string) (bool, error) {
+	switch mode {
+	case "on":
+		return true, nil
+	case "off", "":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -adapt %q: want on or off", mode)
+}
+
 // printRuntimeStats reports the executor's steal counters alongside
-// the scratch pool's reuse gauges, so one run shows both halves of the
-// runtime's behavior: how work moved between workers and how buffer
-// memory was recycled.
+// the scratch pool's reuse gauges — and, with -adapt=on, the tuning
+// controller's counters — so one run shows every half of the runtime's
+// behavior: how work moved between workers, how buffer memory was
+// recycled, and how the parameter cache filled and converged.
 func printRuntimeStats(cfg core.Config) {
 	e := cfg.Executor
 	if e == nil {
@@ -127,6 +162,11 @@ func printRuntimeStats(cfg core.Config) {
 	fmt.Printf("runtime: steals=%d attempts=%d | scratch: hits=%d misses=%d bypasses=%d live=%s pooled=%s\n",
 		e.Steals(), e.StealAttempts(),
 		st.Hits, st.Misses, st.Bypasses, fmtBytes(st.BytesLive), fmtBytes(st.BytesPooled))
+	if cfg.Adaptive {
+		at := adapt.Default().Stats()
+		fmt.Printf("adapt: sites=%d classes=%d decisions=%d explorations=%d degraded=%d converged=%d\n",
+			at.Sites, at.Classes, at.Decisions, at.Explorations, at.Degraded, at.Converged)
+	}
 }
 
 func fmtBytes(b int64) string {

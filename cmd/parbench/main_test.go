@@ -1,6 +1,54 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/scratch"
+)
+
+// TestFlagModesRejectUnknownValues pins the CLI contract: a mistyped
+// mode value (e.g. -scratch=maybe) must produce a usage error, not a
+// silent fall-back to the default behavior.
+func TestFlagModesRejectUnknownValues(t *testing.T) {
+	for _, bad := range []string{"maybe", "ON", "1", "true", " on"} {
+		if _, err := scratchFor(bad); err == nil {
+			t.Errorf("scratchFor(%q) accepted", bad)
+		}
+		if _, err := adaptFor(bad); err == nil {
+			t.Errorf("adaptFor(%q) accepted", bad)
+		}
+		if _, err := executorFor(bad); err == nil {
+			t.Errorf("executorFor(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFlagModesAcceptKnownValues(t *testing.T) {
+	if p, err := scratchFor("on"); err != nil || p != nil {
+		t.Errorf("scratchFor(on) = %v, %v", p, err)
+	}
+	if p, err := scratchFor("off"); err != nil || p != scratch.Off {
+		t.Errorf("scratchFor(off) = %v, %v", p, err)
+	}
+	if on, err := adaptFor("on"); err != nil || !on {
+		t.Errorf("adaptFor(on) = %v, %v", on, err)
+	}
+	if on, err := adaptFor("off"); err != nil || on {
+		t.Errorf("adaptFor(off) = %v, %v", on, err)
+	}
+	if e, err := executorFor("pooled"); err != nil || e != nil {
+		t.Errorf("executorFor(pooled) = %v, %v", e, err)
+	}
+	// "dedicated" and "spawn" construct pools; just check they resolve.
+	for _, mode := range []string{"dedicated", "spawn"} {
+		e, err := executorFor(mode)
+		if err != nil || e == nil {
+			t.Errorf("executorFor(%s) = %v, %v", mode, e, err)
+			continue
+		}
+		e.Close()
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,8")

@@ -1,0 +1,143 @@
+package adapt
+
+import "math"
+
+// The candidate lattices. Candidate 0 is always the serial fallback —
+// the learned serial cutoff is simply "the size classes where serial
+// wins". The remaining candidates enumerate the parameters the offline
+// sweeps (core.TuneGrain, core.TunePolicy) enumerate by hand.
+
+// rangeGrains are the grain candidates of the KindRange lattice,
+// straddling par.DefaultGrain by two powers of four.
+var rangeGrains = []int{256, 1024, 4096, 16384}
+
+// Schedule policy indices, mirroring the declaration order of
+// par.Policies (par cannot be imported here — it imports adapt — so
+// the contract is pinned by TestPolicyOrderMatchesPar in par).
+const (
+	policyStatic  = 0
+	policyCyclic  = 1
+	policyDynamic = 2
+	policyGuided  = 3
+	numPolicies   = 4
+)
+
+// workerShares are the divisors of the requested worker count tried by
+// the KindWorkers lattice (full, half, quarter parallelism).
+var workerShares = []int{1, 2, 4}
+
+// latticeSize returns the candidate count for a lattice kind.
+func latticeSize(kind Kind) int {
+	if kind == KindWorkers {
+		return 1 + len(workerShares)
+	}
+	return 1 + len(rangeGrains)*numPolicies
+}
+
+// activeCandidates lists the lattice indices worth learning for a
+// class created with p requested workers. Range candidates are always
+// distinct; worker shares collapse when p is small (at p=2 every share
+// clamps to 2 workers), and measuring three copies of the same
+// configuration would waste the exploration budget, so only the first
+// index per effective worker count stays active. p may drift across
+// later calls to the same class; the dedup set keyed on the creation-
+// time p stays — shares that collapse at one p collapse at nearby ones.
+func activeCandidates(kind Kind, p int) []int32 {
+	k := latticeSize(kind)
+	if kind != KindWorkers {
+		out := make([]int32, k)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	out := []int32{0}
+	seen := map[int]bool{}
+	for i := 1; i < k; i++ {
+		w := p / workerShares[i-1]
+		if w < 2 {
+			w = 2
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// candidateDecision materializes lattice candidate idx for a call of n
+// elements with p requested workers.
+func candidateDecision(kind Kind, idx, n, p int) Decision {
+	if idx <= 0 || p <= 1 {
+		return Decision{Serial: true, Procs: 1, Grain: 0, Policy: -1}
+	}
+	if kind == KindWorkers {
+		w := p / workerShares[idx-1]
+		if w < 2 {
+			w = 2
+		}
+		return Decision{Procs: w, Policy: -1}
+	}
+	i := idx - 1
+	return Decision{Procs: p, Grain: rangeGrains[i/numPolicies], Policy: i % numPolicies}
+}
+
+// predict evaluates the machine-model prior for one candidate at a
+// representative input length. The formulas are the standard
+// decomposition — per-element work, amortized fork/join barrier, and
+// per-chunk scheduling overhead — expressed in seconds per element so
+// estimates are comparable across the sizes sharing a class. They are
+// priors, not truths: the first measurement of a candidate replaces
+// them outright.
+func (pr Prior) predict(kind Kind, idx, n, p int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if idx <= 0 {
+		return pr.SecPerOp // serial: no barrier, no chunks
+	}
+	fn := float64(n)
+	if kind == KindWorkers {
+		w := p / workerShares[idx-1]
+		if w < 2 {
+			w = 2
+		}
+		fw := float64(w)
+		// Blocked kernel: parallel sweep + fork/join + sequential
+		// combine of the w partials.
+		return pr.SecPerOp/fw + (pr.SecPerBarrier+pr.SecPerOp*fw)/fn
+	}
+	i := idx - 1
+	grain := float64(rangeGrains[i/numPolicies])
+	pol := i % numPolicies
+	fp := float64(p)
+	chunks := 1.0
+	perChunk := 0.0
+	switch pol {
+	case policyStatic:
+		chunks = fp
+		perChunk = 20 * pr.SecPerOp
+	case policyCyclic:
+		chunks = fn / grain
+		// Round-robin dealing: no atomics, but strided traversal costs
+		// locality — charge a word per chunk boundary.
+		perChunk = 20*pr.SecPerOp + 2*pr.SecPerWord*grain
+	case policyDynamic:
+		chunks = fn / grain
+		perChunk = 40 * pr.SecPerOp // shared-cursor atomic per chunk
+	case policyGuided:
+		// Exponentially shrinking chunks: ~2p log(n/(2p·grain)) grabs
+		// before the floor, then grain-sized chunks.
+		c := 2 * fp * math.Log2(math.Max(2, fn/(2*fp*grain)))
+		if flo := fn / grain; c > flo {
+			c = flo
+		}
+		chunks = c + fp
+		perChunk = 50 * pr.SecPerOp // CAS loop per grab
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return pr.SecPerOp/fp + (pr.SecPerBarrier+chunks*perChunk)/fn
+}

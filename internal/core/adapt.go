@@ -1,0 +1,18 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/adapt"
+)
+
+// SeedAdaptive seeds the process-wide adaptive controller's cost-model
+// prior from a fitted calibration: the A coefficient becomes the
+// per-operation time and the BSP parameters it implies supply the
+// communication and barrier terms. Call it after Fit so the online
+// tuner's first decisions start from the measured machine instead of
+// the built-in rough guess. Classes created before seeding keep their
+// old priors; measured feedback erases the difference either way.
+func SeedAdaptive(cal Calibration) {
+	adapt.Default().SetPrior(cal.SecPerOp, cal.BSPParams(runtime.GOMAXPROCS(0)))
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/par"
+	"repro/internal/perf"
+	"repro/internal/racecheck"
+)
+
+// TestConvergedAdaptiveMatchesTunedGrain is the acceptance check for
+// the online tuner: on a fixed kernel and size, a converged adaptive
+// call must land within 5% of the best result the offline TuneGrain
+// sweep finds by hand (plus a small absolute cushion for timer noise —
+// wall-clock comparisons on shared CI hardware are never exact).
+func TestConvergedAdaptiveMatchesTunedGrain(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("race instrumentation distorts timings")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison needs full-size runs")
+	}
+	const n = 1 << 20
+	const procs = 4
+	xs := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%1024) * 0.5
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = xs[i]*1.000001 + 0.5
+		}
+	}
+	grains := []int{256, 1024, 4096, 16384}
+
+	var lastErr string
+	for attempt := 0; attempt < 3; attempt++ {
+		// Offline: the hand sweep the methodology prescribes.
+		tuned := TuneGrain(grains, 5, func(grain int) {
+			par.ForRange(n, par.Options{Procs: procs, Policy: par.Dynamic,
+				Grain: grain, SerialCutoff: 1}, body)
+		})
+		best := tuned.Seconds[tuned.Best]
+
+		// Online: drive one call site to convergence, then time it.
+		ctl := adapt.New(adapt.Config{ConvergeAfter: 32, Seed: uint64(attempt + 1)})
+		aOpts := par.Options{Procs: procs, Adaptive: ctl}
+		for i := 0; i < 80; i++ {
+			par.ForRange(n, aOpts, body)
+		}
+		r := perf.Runner{Warmup: 2, Reps: 5}
+		adaptive := r.Time(func(int) { par.ForRange(n, aOpts, body) }).Median
+
+		limit := best*1.05 + 100e-6
+		if adaptive <= limit {
+			if attempt > 0 {
+				t.Logf("passed on attempt %d", attempt+1)
+			}
+			t.Logf("adaptive %.3gs vs best tuned %.3gs (grain %d)", adaptive, best, tuned.Best)
+			return
+		}
+		lastErr = perf.FormatDuration(adaptive) + " adaptive vs " + perf.FormatDuration(best) + " tuned best"
+		t.Logf("attempt %d: %s", attempt+1, lastErr)
+	}
+	t.Errorf("converged adaptive call not within 5%% of TuneGrain best after 3 attempts: %s", lastErr)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/adapt"
 	"repro/internal/bsp"
 	"repro/internal/exec"
 	"repro/internal/gen"
@@ -46,12 +47,25 @@ type Config struct {
 	// per call (cmd/parbench -scratch=off) so the GC-pressure delta is
 	// observable.
 	Scratch *scratch.Pool
+	// Adaptive runs every kernel invocation under the online tuning
+	// runtime (cmd/parbench -adapt=on): grain, policy, worker count
+	// and serial cutoffs come from the process-wide adapt controller
+	// instead of the sweep's fixed values. The per-point (procs,
+	// policy, grain) parameters then act only as the controller's
+	// requested-parallelism ceiling, so tables produced this way
+	// measure the controller, not the lattice — useful to check how
+	// close "adaptive" lands to the best hand-swept row.
+	Adaptive bool
 }
 
 // opts builds the par.Options for one measured point, carrying the
 // harness executor and scratch pool into every kernel layer.
 func (c Config) opts(procs int, pol par.Policy, grain int) par.Options {
-	return par.Options{Procs: procs, Policy: pol, Grain: grain, Executor: c.Executor, Scratch: c.Scratch}
+	o := par.Options{Procs: procs, Policy: pol, Grain: grain, Executor: c.Executor, Scratch: c.Scratch}
+	if c.Adaptive {
+		o.Adaptive = adapt.Default()
+	}
+	return o
 }
 
 func (c Config) procs() []int {

@@ -1,0 +1,14 @@
+// Package difftest is the differential oracle test suite: every
+// parallel kernel in the repository is cross-checked against its
+// sequential oracle (internal/seq, or a transparent reference loop)
+// over the full configuration matrix — sizes {0, 1, small, odd,
+// large}, every par.Policy, worker counts {1, 2, GOMAXPROCS}, scratch
+// on/off, and the adaptive tuning runtime mid-exploration, where the
+// controller may pick a different candidate on every call and the
+// results must nonetheless be bit-identical while only timings vary.
+//
+// This is the determinism contract internal/adapt relies on (it may
+// change schedules freely because schedules never change results) made
+// executable. The package contains only tests; there is no library
+// code to import.
+package difftest

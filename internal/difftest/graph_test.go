@@ -1,0 +1,104 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pgraph"
+	"repro/internal/plist"
+	"repro/internal/seq"
+)
+
+// graphSizes trims the size axis for graph kernels (generation
+// dominates past a few thousand nodes; parallel paths engage well
+// before that).
+func graphSizes() []int {
+	if testing.Short() {
+		return []int{1, 2, 33, 500}
+	}
+	return []int{1, 2, 33, 509, 4000}
+}
+
+func TestDiffListRank(t *testing.T) {
+	matrix := smallMatrix()
+	for _, n := range graphSizes() {
+		l := gen.RandomList(n, uint64(n)*5+3)
+		want := seq.ListRank(l)
+		eqInts(t, "oracle-vs-reference", want, l.RanksRef())
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			forEach(t, matrix, func(t *testing.T, opts par.Options) {
+				eqInts(t, "Rank", plist.Rank(l, opts), want)
+			})
+		})
+	}
+}
+
+// bfsOracle is a textbook queue BFS producing hop distances.
+func bfsOracle(g *graph.Graph, src int) []int32 {
+	depth := make([]int32, g.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if depth[w] == -1 {
+				depth[w] = depth[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return depth
+}
+
+func TestDiffBFS(t *testing.T) {
+	matrix := smallMatrix()
+	for _, n := range graphSizes() {
+		g := gen.ErdosRenyi(n, 4, false, uint64(n)+11)
+		want := bfsOracle(g, 0)
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			forEach(t, matrix, func(t *testing.T, opts par.Options) {
+				got := pgraph.BFS(g, 0, opts)
+				if len(got) != len(want) {
+					t.Fatalf("BFS len %d, want %d", len(got), len(want))
+				}
+				for v := range got {
+					if got[v] != want[v] {
+						t.Fatalf("BFS depth[%d] = %d, want %d", v, got[v], want[v])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestDiffCC(t *testing.T) {
+	matrix := smallMatrix()
+	for _, n := range graphSizes() {
+		// Components generator guarantees multiple components when the
+		// size permits; ErdosRenyi covers the sparse connected-ish case.
+		graphs := []*graph.Graph{gen.ErdosRenyi(n, 2, false, uint64(n)+17)}
+		if n >= 32 {
+			graphs = append(graphs, gen.Components(4, n/4, 3, uint64(n)+23))
+		}
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			for gi, g := range graphs {
+				want := seq.ConnectedComponentsBFS(g)
+				forEach(t, matrix, func(t *testing.T, opts par.Options) {
+					if got := pgraph.CCHook(g, opts); !pgraph.SamePartition(got, want) {
+						t.Fatalf("graph %d: CCHook partition mismatch", gi)
+					}
+					if got := pgraph.CCLabelProp(g, opts); !pgraph.SamePartition(got, want) {
+						t.Fatalf("graph %d: CCLabelProp partition mismatch", gi)
+					}
+				})
+			}
+		})
+	}
+}

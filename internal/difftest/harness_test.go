@@ -1,0 +1,141 @@
+package difftest
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/par"
+	"repro/internal/scratch"
+)
+
+// sizes is the differential size axis: empty, singleton, small,
+// odd/prime (exercises uneven block splits), and large enough that
+// every configuration actually takes its parallel path.
+func sizes() []int {
+	large := 40_000
+	if testing.Short() {
+		large = 8_000
+	}
+	return []int{0, 1, 5, 63, 1021, large}
+}
+
+// procCounts is the worker-count axis.
+func procCounts() []int {
+	g := runtime.GOMAXPROCS(0)
+	if g <= 2 {
+		// Few-core runner: still exercise a proper fan-out.
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, g}
+}
+
+// cfg is one cell of the configuration matrix.
+type cfg struct {
+	name string
+	opts par.Options
+	// rounds repeats the kernel call; >1 for the adaptive cells, where
+	// mid-exploration rounds may each take a different candidate and
+	// must all produce identical results.
+	rounds int
+}
+
+// exploring returns a controller pinned mid-exploration (epsilon 1,
+// never converges), so repeated rounds sample different candidates.
+func exploring() *adapt.Controller {
+	return adapt.New(adapt.Config{Epsilon: 1, ConvergeAfter: 1 << 30, Seed: 271828})
+}
+
+// fullMatrix is the complete configuration axis for the cheap array
+// kernels: every policy × worker count × scratch mode, plus the
+// adaptive mode (policy is the controller's to pick, so it replaces
+// the policy axis there).
+func fullMatrix() []cfg {
+	var out []cfg
+	for _, p := range procCounts() {
+		for _, sc := range []struct {
+			name string
+			pool *scratch.Pool
+		}{{"scratch", nil}, {"noscratch", scratch.Off}} {
+			for _, pol := range par.Policies {
+				out = append(out, cfg{
+					name: fmt.Sprintf("p%d/%s/%s", p, sc.name, pol),
+					opts: par.Options{Procs: p, Policy: pol, Grain: 64,
+						SerialCutoff: 1, Scratch: sc.pool},
+					rounds: 1,
+				})
+			}
+			out = append(out, cfg{
+				name:   fmt.Sprintf("p%d/%s/adaptive", p, sc.name),
+				opts:   par.Options{Procs: p, Scratch: sc.pool, Adaptive: exploring()},
+				rounds: 4,
+			})
+		}
+	}
+	return out
+}
+
+// smallMatrix is the trimmed axis for the expensive kernels (sorts,
+// graphs, matrices): two policies stand in for the schedule axis, and
+// the adaptive cells stay.
+func smallMatrix() []cfg {
+	var out []cfg
+	for _, p := range procCounts() {
+		for _, pol := range []par.Policy{par.Static, par.Dynamic} {
+			out = append(out, cfg{
+				name:   fmt.Sprintf("p%d/%s", p, pol),
+				opts:   par.Options{Procs: p, Policy: pol, Grain: 64, SerialCutoff: 1},
+				rounds: 1,
+			})
+		}
+		out = append(out, cfg{
+			name:   fmt.Sprintf("p%d/noscratch", p),
+			opts:   par.Options{Procs: p, Scratch: scratch.Off},
+			rounds: 1,
+		})
+		out = append(out, cfg{
+			name:   fmt.Sprintf("p%d/adaptive", p),
+			opts:   par.Options{Procs: p, Adaptive: exploring()},
+			rounds: 3,
+		})
+	}
+	return out
+}
+
+// forEach runs body once per (config, round), labeled for failure
+// triage.
+func forEach(t *testing.T, matrix []cfg, body func(t *testing.T, opts par.Options)) {
+	t.Helper()
+	for _, c := range matrix {
+		t.Run(c.name, func(t *testing.T) {
+			for round := 0; round < c.rounds; round++ {
+				body(t, c.opts)
+			}
+		})
+	}
+}
+
+func eqInt64(t *testing.T, what string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func eqInts(t *testing.T, what string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}

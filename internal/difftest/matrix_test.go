@@ -1,0 +1,66 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/pmat"
+	"repro/internal/pstencil"
+	"repro/internal/seq"
+)
+
+// matSizes: the matmul size axis (n×n); 1 exercises degenerate tiles,
+// odd sizes exercise ragged edge blocks.
+func matSizes() []int {
+	if testing.Short() {
+		return []int{1, 2, 17, 48}
+	}
+	return []int{1, 2, 17, 48, 97}
+}
+
+func TestDiffMatmul(t *testing.T) {
+	matrix := smallMatrix()
+	for _, n := range matSizes() {
+		a := gen.RandomMatrix(n, n, uint64(n)+41)
+		b := gen.RandomMatrix(n, n, uint64(n)+43)
+		want := seq.Matmul(a, b)
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			forEach(t, matrix, func(t *testing.T, opts par.Options) {
+				// Row-parallel matmul accumulates each output cell in the
+				// same k-ascending order as the oracle, so equality is
+				// exact — parallelism must not change a single bit.
+				if got := pmat.Mul(a, b, pmat.Config{Opts: opts}); !got.Equal(want, 0) {
+					t.Fatal("Mul differs from sequential oracle")
+				}
+				if got := pmat.Mul(a, b, pmat.Config{Block: 7, Opts: opts}); !got.Equal(want, 0) {
+					t.Fatal("Mul(block=7) differs from sequential oracle")
+				}
+				if got := pmat.MulNaive(a, b, opts); !got.Equal(want, 0) {
+					t.Fatal("MulNaive differs from sequential oracle")
+				}
+			})
+		})
+	}
+}
+
+func TestDiffStencil(t *testing.T) {
+	matrix := smallMatrix()
+	gridSizes := []int{3, 4, 17, 65}
+	const iters = 5
+	for _, n := range gridSizes {
+		g := gen.HotPlateGrid(n)
+		want := seq.Jacobi(g, iters)
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			forEach(t, matrix, func(t *testing.T, opts par.Options) {
+				got := pstencil.Jacobi(g, iters, opts)
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("Jacobi cell %d = %g, want %g", i, got.Data[i], want.Data[i])
+					}
+				}
+			})
+		})
+	}
+}

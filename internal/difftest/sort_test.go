@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/psel"
+	"repro/internal/psort"
+	"repro/internal/seq"
+)
+
+// sortInputs is the adversarial distribution axis for the sorts.
+var sortDists = []gen.Distribution{gen.Uniform, gen.Sorted, gen.Reversed, gen.FewUnique}
+
+func TestDiffSorts(t *testing.T) {
+	matrix := smallMatrix()
+	sorters := []struct {
+		name string
+		sort func([]int64, par.Options)
+	}{
+		{"samplesort", psort.SampleSort},
+		{"mergesort", psort.MergeSort},
+		{"radix", psort.RadixSort},
+	}
+	for _, n := range sizes() {
+		for _, d := range sortDists {
+			xs := gen.Ints(n, d, uint64(n)+uint64(d)*31+1)
+			want := append([]int64(nil), xs...)
+			seq.Quicksort(want)
+			t.Run(fmt.Sprintf("n%d/%s", n, d), func(t *testing.T) {
+				for _, s := range sorters {
+					t.Run(s.name, func(t *testing.T) {
+						forEach(t, matrix, func(t *testing.T, opts par.Options) {
+							got := append([]int64(nil), xs...)
+							s.sort(got, opts)
+							eqInt64(t, s.name, got, want)
+						})
+					})
+				}
+			})
+		}
+	}
+}
+
+func TestDiffSelect(t *testing.T) {
+	matrix := smallMatrix()
+	for _, n := range sizes() {
+		if n == 0 {
+			continue // Select panics on empty input by contract
+		}
+		xs := input(n)
+		sorted := append([]int64(nil), xs...)
+		seq.Quicksort(sorted)
+		ks := []int{0, n / 2, n - 1}
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			forEach(t, matrix, func(t *testing.T, opts par.Options) {
+				for _, k := range ks {
+					if got := psel.Select(xs, k, opts); got != sorted[k] {
+						t.Fatalf("Select(k=%d) = %d, want %d", k, got, sorted[k])
+					}
+					if got := psel.SelectSeq(xs, k); got != sorted[k] {
+						t.Fatalf("SelectSeq(k=%d) = %d, want %d", k, got, sorted[k])
+					}
+				}
+			})
+		})
+	}
+}

@@ -61,6 +61,7 @@ type Executor struct {
 	spawn bool
 
 	startOnce sync.Once
+	started   atomic.Bool // workers launched (Occupancy reads 0 before)
 	workers   []*worker
 	submitIdx atomic.Uint64 // round-robin target for external submits
 
@@ -69,6 +70,9 @@ type Executor struct {
 	// Submit) so wakeups are never lost.
 	pending atomic.Int64
 	idle    atomic.Int32
+	// running counts pooled workers currently executing a task (not
+	// merely awake and probing for one) — the numerator of Occupancy.
+	running atomic.Int32
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -173,9 +177,27 @@ func (e *Executor) StealAttempts() int64 { return e.attempts.Load() }
 // currently live via Go (e.g. BSP virtual processors).
 func (e *Executor) BlockingGoroutines() int64 { return e.blocking.Load() }
 
+// Occupancy returns the fraction of pooled workers currently
+// executing tasks: 0 is an idle (or not yet started, or spawning)
+// pool, 1 is every worker busy. Workers that are awake but merely
+// probing for work do not count, and neither do queued-but-unstarted
+// tasks — fork/join helpers that lost the race to their Run's own
+// caller linger on the deques and run as no-ops, so the queue length
+// says nothing about load (conspicuously on few-core machines). It is
+// the gauge the adaptive tuning runtime (internal/adapt) consults to
+// shed parallelism under concurrent traffic — a cheap, racy snapshot,
+// deliberately: the reader wants a trend, not a linearizable count.
+func (e *Executor) Occupancy() float64 {
+	if e.spawn || !e.started.Load() {
+		return 0
+	}
+	return float64(e.running.Load()) / float64(e.procs)
+}
+
 // start launches the persistent workers (idempotent).
 func (e *Executor) start() {
 	e.startOnce.Do(func() {
+		e.started.Store(true)
 		e.wg.Add(len(e.workers))
 		for _, w := range e.workers {
 			go func(w *worker) {
@@ -256,7 +278,9 @@ func (w *worker) loop() {
 		}
 		if ok {
 			e.pending.Add(-1)
+			e.running.Add(1)
 			t()
+			e.running.Add(-1)
 			continue
 		}
 		// Nothing runnable: park. The idle increment must precede the

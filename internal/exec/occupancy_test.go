@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOccupancyLifecycle(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+
+	if got := e.Occupancy(); got != 0 {
+		t.Fatalf("unstarted pool occupancy = %v, want 0", got)
+	}
+
+	// Saturate: four tasks hold every worker until released.
+	release := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(4)
+	for i := 0; i < 4; i++ {
+		e.Submit(func() {
+			running.Done()
+			<-release
+		})
+	}
+	running.Wait()
+	if got := e.Occupancy(); got < 1 {
+		t.Errorf("saturated pool occupancy = %v, want >= 1", got)
+	}
+
+	// Queued-but-unstarted tasks are not load: the gauge must not
+	// exceed saturation (stale fork/join helpers would otherwise poison
+	// it on few-core machines).
+	e.Submit(func() {})
+	e.Submit(func() {})
+	if got := e.Occupancy(); got != 1 {
+		t.Errorf("backlogged pool occupancy = %v, want 1", got)
+	}
+
+	close(release)
+	// Workers drain and park; the gauge must fall back to 0.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Occupancy() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("occupancy stuck at %v after drain", e.Occupancy())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestOccupancySpawnModeIsZero(t *testing.T) {
+	e := NewSpawning()
+	done := make(chan struct{})
+	e.Submit(func() { close(done) })
+	<-done
+	if got := e.Occupancy(); got != 0 {
+		t.Errorf("spawn-mode occupancy = %v, want 0", got)
+	}
+}

@@ -12,6 +12,12 @@ import (
 func ErdosRenyi(n int, avgDeg float64, weighted bool, seed uint64) *graph.Graph {
 	r := rng.New(seed)
 	m := int(avgDeg * float64(n) / 2)
+	if n < 2 {
+		// No non-self-loop edge exists; the rejection loop below would
+		// otherwise never terminate (found by the differential suite's
+		// single-node case).
+		m = 0
+	}
 	edges := make([]graph.Edge, 0, m)
 	for len(edges) < m {
 		u, v := r.Intn(n), r.Intn(n)

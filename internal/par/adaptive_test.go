@@ -1,0 +1,151 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/racecheck"
+)
+
+// exploring returns a controller pinned mid-exploration: epsilon 1 and
+// a convergence horizon it never reaches, so every call tries a fresh
+// candidate.
+func exploring() *adapt.Controller {
+	return adapt.New(adapt.Config{Epsilon: 1, ConvergeAfter: 1 << 30, Seed: 42})
+}
+
+// TestPolicyOrderMatchesAdapt pins the cross-package contract: adapt
+// encodes schedule policies as indices into par.Policies declaration
+// order (it cannot import par), so that order must never change
+// silently.
+func TestPolicyOrderMatchesAdapt(t *testing.T) {
+	want := []Policy{Static, Cyclic, Dynamic, Guided}
+	for i, p := range want {
+		if int(p) != i {
+			t.Fatalf("Policy %v = %d, adapt assumes %d", p, int(p), i)
+		}
+		if Policies[i] != p {
+			t.Fatalf("Policies[%d] = %v, want %v", i, Policies[i], p)
+		}
+	}
+}
+
+// TestAdaptiveResultsIdenticalMidExploration is the par-level slice of
+// the differential contract: while the controller is still exploring
+// (every call may pick a different candidate), results must be
+// bit-identical to the sequential oracle.
+func TestAdaptiveResultsIdenticalMidExploration(t *testing.T) {
+	ctl := exploring()
+	n := 40_000
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i*2654435761) % 1009
+	}
+	wantScan := make([]int64, n)
+	var acc int64
+	for i, x := range xs {
+		acc += x
+		wantScan[i] = acc
+	}
+	var wantSum int64
+	for _, x := range xs {
+		wantSum += x
+	}
+	opts := Options{Procs: 4, Adaptive: ctl}
+	dst := make([]int64, n)
+	for round := 0; round < 24; round++ {
+		ScanInclusive(dst, xs, opts, 0, func(a, b int64) int64 { return a + b })
+		for i := range dst {
+			if dst[i] != wantScan[i] {
+				t.Fatalf("round %d: scan[%d] = %d, want %d", round, i, dst[i], wantScan[i])
+			}
+		}
+		if got := Sum(xs, opts); got != wantSum {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, wantSum)
+		}
+		k := PackInto(dst, xs, opts, func(v int64) bool { return v&1 == 0 })
+		want := 0
+		for _, x := range xs {
+			if x&1 == 0 {
+				if dst[want] != x {
+					t.Fatalf("round %d: pack[%d] = %d, want %d", round, want, dst[want], x)
+				}
+				want++
+			}
+		}
+		if k != want {
+			t.Fatalf("round %d: pack count = %d, want %d", round, k, want)
+		}
+	}
+	if st := ctl.Stats(); st.Decisions == 0 || st.Explorations == 0 {
+		t.Fatalf("controller never explored: %+v", st)
+	}
+}
+
+// TestAdaptivePCSitesDistinguishLoops checks that two distinct For
+// call sites get distinct learned state.
+func TestAdaptivePCSitesDistinguishLoops(t *testing.T) {
+	ctl := exploring()
+	opts := Options{Procs: 4, Adaptive: ctl}
+	xs := make([]int64, 8192)
+	For(len(xs), opts, func(i int) { xs[i] = int64(i) })
+	For(len(xs), opts, func(i int) { xs[i] += 1 })
+	if st := ctl.Stats(); st.Sites < 2 {
+		t.Fatalf("two For sites produced %d adaptive sites, want >= 2", st.Sites)
+	}
+}
+
+// TestAdaptiveSerialDecisionStillCorrect drives a tiny input where the
+// lattice's serial candidate is in play and checks both paths agree.
+func TestAdaptiveSerialDecisionStillCorrect(t *testing.T) {
+	ctl := exploring()
+	opts := Options{Procs: 4, Adaptive: ctl, SerialCutoff: 1}
+	xs := []int64{5, 1, 4, 1, 5, 9, 2, 6}
+	for round := 0; round < 30; round++ {
+		if got := Sum(xs, opts); got != 33 {
+			t.Fatalf("round %d: sum = %d, want 33", round, got)
+		}
+	}
+}
+
+// TestAdaptiveConvergedAllocs is the adaptive fast-path regression:
+// once a (site, size-class) has converged, an adaptive call must cost
+// zero allocations over the PR 2 steady-state baseline — the decision
+// is two atomic loads, with no timing and no boxing.
+func TestAdaptiveConvergedAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("race instrumentation allocates")
+	}
+	ctl := adapt.New(adapt.Config{ConvergeAfter: 24})
+	n := 1 << 16
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i * 7)
+	}
+	dst := make([]int64, n)
+	hist := make([]int, 256)
+	base := Options{Procs: 4}
+	ad := Options{Procs: 4, Adaptive: ctl}
+
+	check := func(name string, run func(Options)) {
+		t.Helper()
+		for i := 0; i < 64; i++ { // warm pools and converge the site
+			run(ad)
+		}
+		baseline := testing.AllocsPerRun(100, func() { run(base) })
+		got := testing.AllocsPerRun(100, func() { run(ad) })
+		if got > baseline {
+			t.Errorf("%s: adaptive converged path %.1f allocs/run vs %.1f baseline", name, got, baseline)
+		}
+	}
+	check("ScanInclusive", func(o Options) {
+		ScanInclusive(dst, xs, o, 0, func(a, b int64) int64 { return a + b })
+	})
+	check("HistogramInto", func(o Options) {
+		HistogramInto(hist, xs, o, func(v int64) int { return int(v & 255) })
+	})
+	check("Sum", func(o Options) { Sum(xs, o) })
+	if !ctl.Converged(siteScan, n) || !ctl.Converged(siteHist, n) || !ctl.Converged(siteReduce, n) {
+		t.Fatalf("sites failed to converge during warmup: %+v", ctl.Stats())
+	}
+}

@@ -17,6 +17,8 @@ func Pack[T any](xs []T, opts Options, pred func(T) bool) []T {
 	if n == 0 {
 		return nil
 	}
+	opts, m := BeginAdaptive(sitePack, n, opts)
+	defer m.Done()
 	p := opts.procs()
 	if p > n {
 		p = n
@@ -53,6 +55,8 @@ func PackInto[T any](dst, xs []T, opts Options, pred func(T) bool) int {
 	if n == 0 {
 		return 0
 	}
+	opts, m := BeginAdaptive(sitePack, n, opts)
+	defer m.Done()
 	p := opts.procs()
 	if p > n {
 		p = n
@@ -122,6 +126,8 @@ func PackIndex(n int, opts Options, pred func(i int) bool) []int {
 	if n == 0 {
 		return nil
 	}
+	opts, m := BeginAdaptive(sitePackIdx, n, opts)
+	defer m.Done()
 	p := opts.procs()
 	if p > n {
 		p = n
@@ -153,6 +159,8 @@ func PackIndexInto(dst []int, n int, opts Options, pred func(i int) bool) int {
 	if n == 0 {
 		return 0
 	}
+	opts, m := BeginAdaptive(sitePackIdx, n, opts)
+	defer m.Done()
 	p := opts.procs()
 	if p > n {
 		p = n
@@ -228,6 +236,8 @@ func HistogramInto[T any](out []int, xs []T, opts Options, bucket func(T) int) {
 		clear(out)
 		return
 	}
+	opts, m := BeginAdaptive(siteHist, n, opts)
+	defer m.Done()
 	p := opts.procs()
 	if p > n {
 		p = n

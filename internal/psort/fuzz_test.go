@@ -1,0 +1,81 @@
+package psort
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/par"
+	"repro/internal/seq"
+)
+
+// fuzzCtl keeps the adaptive controller mid-exploration for the whole
+// fuzzing session: every execution may sort under a different
+// candidate (serial, different worker shares, different merge leaf
+// grains), and the output must always match the sequential oracle.
+var fuzzCtl = adapt.New(adapt.Config{Epsilon: 1, ConvergeAfter: 1 << 30, Seed: 0xF422})
+
+// decodeKeys turns fuzz bytes into int64 keys (8 bytes each, tail
+// bytes dropped).
+func decodeKeys(data []byte) []int64 {
+	xs := make([]int64, len(data)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return xs
+}
+
+func encodeKeys(xs []int64) []byte {
+	data := make([]byte, len(xs)*8)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(data[i*8:], uint64(x))
+	}
+	return data
+}
+
+// FuzzSortAdaptive cross-checks every parallel sort, running in
+// adaptive mode mid-exploration, against the sequential oracle on
+// fuzzer-mutated inputs, seeded with the classic adversarial shapes.
+func FuzzSortAdaptive(f *testing.F) {
+	sorted := make([]int64, 600)
+	reverse := make([]int64, 600)
+	equal := make([]int64, 600)
+	singleRun := make([]int64, 600)
+	for i := range sorted {
+		sorted[i] = int64(i)
+		reverse[i] = int64(len(reverse) - i)
+		equal[i] = 42
+		// One sorted run with a single displaced element at the end —
+		// the "almost sorted" shape that trips lazy cutoff logic.
+		singleRun[i] = int64(i)
+	}
+	singleRun[len(singleRun)-1] = -1
+	f.Add(encodeKeys(sorted))
+	f.Add(encodeKeys(reverse))
+	f.Add(encodeKeys(equal))
+	f.Add(encodeKeys(singleRun))
+	f.Add(encodeKeys([]int64{}))
+	f.Add(encodeKeys([]int64{1 << 62, -(1 << 62), 0, -1, 1}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		xs := decodeKeys(data)
+		want := append([]int64(nil), xs...)
+		seq.Quicksort(want)
+		opts := par.Options{Procs: 4, Adaptive: fuzzCtl}
+		for _, s := range []struct {
+			name string
+			sort func([]int64, par.Options)
+		}{{"samplesort", SampleSort}, {"mergesort", MergeSort}, {"radix", RadixSort}} {
+			got := append([]int64(nil), xs...)
+			s.sort(got, opts)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: [%d] = %d, want %d (n=%d)", s.name, i, got[i], want[i], len(xs))
+				}
+			}
+		}
+	})
+}

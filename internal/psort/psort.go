@@ -21,6 +21,7 @@ package psort
 import (
 	"sort"
 
+	"repro/internal/adapt"
 	"repro/internal/exec"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -32,12 +33,24 @@ import (
 // values even out bucket sizes at the cost of splitter-selection time.
 const oversample = 32
 
+// Adaptive call sites: each sort is one decision covering its whole
+// count/scan/scatter pipeline — the controller tunes the worker count
+// (and for merge sort the leaf grain) per input-size class, and sheds
+// parallelism when the executor is busy with other requests.
+var (
+	siteSampleSort = adapt.NewSite("psort.SampleSort", adapt.KindWorkers)
+	siteMergeSort  = adapt.NewSite("psort.MergeSort", adapt.KindRange)
+	siteRadixSort  = adapt.NewSite("psort.RadixSort", adapt.KindWorkers)
+)
+
 // SampleSort sorts xs in place using opts.Procs workers. All
 // temporaries — sample, splitters, the p×p count/offset matrices and
 // the n-element scatter buffer — come from the scratch pool, so
 // repeated sorts allocate nothing at steady state.
 func SampleSort(xs []int64, opts par.Options) {
 	n := len(xs)
+	opts, m := par.BeginAdaptive(siteSampleSort, n, opts)
+	defer m.Done()
 	p := workers(opts, n)
 	if p == 1 || n < 2048 {
 		seq.Quicksort(xs)
@@ -127,6 +140,8 @@ func bucketOf(v int64, splitters []int64) int {
 // to the sequential quicksort is taken from opts.Grain (default 4096).
 func MergeSort(xs []int64, opts par.Options) {
 	n := len(xs)
+	opts, m := par.BeginAdaptive(siteMergeSort, n, opts)
+	defer m.Done()
 	p := workers(opts, n)
 	grain := opts.Grain
 	if grain <= 0 {
@@ -190,6 +205,8 @@ func copyParallel(dst, src []int64, procs int, e *exec.Executor, sp *scratch.Poo
 // fundamental parallel pattern.
 func RadixSort(xs []int64, opts par.Options) {
 	n := len(xs)
+	opts, m := par.BeginAdaptive(siteRadixSort, n, opts)
+	defer m.Done()
 	p := workers(opts, n)
 	if p == 1 || n < 2048 {
 		seq.RadixSort(xs)

@@ -14,6 +14,7 @@ package repro
 import (
 	"io"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gen"
@@ -68,6 +69,15 @@ type (
 	ScratchPool = scratch.Pool
 	// ScratchStats is a snapshot of a scratch pool's reuse counters.
 	ScratchStats = scratch.Stats
+	// AdaptiveController is the online load-aware tuning runtime: it
+	// picks grain, schedule policy, worker count and serial cutoffs
+	// per call site and input-size class, seeded from the machine
+	// model and refined from timing feedback, shedding parallelism
+	// when the executor is busy. Enable it with Adaptive() or by
+	// setting Options.Adaptive.
+	AdaptiveController = adapt.Controller
+	// AdaptiveStats is a snapshot of a controller's tuning counters.
+	AdaptiveStats = adapt.Stats
 )
 
 // Scheduling policies.
@@ -101,6 +111,28 @@ func NewScratchPool() *ScratchPool { return scratch.New() }
 // scratch pool — the allocator-side companion to the executor's steal
 // counters.
 func DefaultScratchStats() ScratchStats { return scratch.Default().Stats() }
+
+// Adaptive returns Options that run every kernel under the process-wide
+// online tuning runtime: instead of hand-picking Grain, Policy and
+// SerialCutoff, each call site learns them per input-size class from
+// timing feedback (seeded by the machine model) and degrades toward
+// serial execution when the shared executor is under load. Results are
+// identical to any fixed configuration; only timings change.
+//
+//	sorted := make([]int64, len(xs))
+//	copy(sorted, xs)
+//	repro.Sort(sorted, repro.Adaptive())
+func Adaptive() Options { return Options{Adaptive: adapt.Default()} }
+
+// NewAdaptiveController creates a dedicated tuning controller (its
+// cache and counters isolated from the process-wide one); pin it via
+// Options.Adaptive.
+func NewAdaptiveController() *AdaptiveController { return adapt.New(adapt.Config{}) }
+
+// DefaultAdaptiveStats returns the tuning counters of the process-wide
+// adaptive controller: sites and size classes seen, decisions and
+// explorations made, load-degraded calls, and converged classes.
+func DefaultAdaptiveStats() AdaptiveStats { return adapt.Default().Stats() }
 
 // For executes body(i) for i in [0, n) in parallel.
 func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }

@@ -112,3 +112,37 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatal("phantom experiment ran")
 	}
 }
+
+func TestFacadeAdaptive(t *testing.T) {
+	opts := Adaptive()
+	if opts.Adaptive == nil {
+		t.Fatal("Adaptive() returned no controller")
+	}
+	// Request parallelism explicitly so the controller has something
+	// to tune even on a single-CPU runner.
+	opts.Procs = 4
+	xs := RandomInts(30_000, 99)
+	want := append([]int64(nil), xs...)
+	SequentialSort(want)
+	for round := 0; round < 8; round++ {
+		got := append([]int64(nil), xs...)
+		Sort(got, opts)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: adaptive Sort[%d] = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+	}
+	if st := DefaultAdaptiveStats(); st.Decisions == 0 {
+		t.Fatalf("no adaptive decisions recorded: %+v", st)
+	}
+	ded := NewAdaptiveController()
+	got := Sum(xs, Options{Procs: 2, Adaptive: ded})
+	var want2 int64
+	for _, x := range xs {
+		want2 += x
+	}
+	if got != want2 {
+		t.Fatalf("dedicated-controller Sum = %d, want %d", got, want2)
+	}
+}
