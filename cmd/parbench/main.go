@@ -8,6 +8,7 @@
 //	parbench -exp E2 -quick      # smoke-size problems
 //	parbench -exp E1 -csv out/   # also write CSV per experiment
 //	parbench -list               # show the experiment index
+//	parbench -pipeline           # streaming-pipeline traffic demo
 //
 // Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
 // selects the dispatch runtime (shared persistent pool, a dedicated
@@ -25,8 +26,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -34,7 +37,9 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/par"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 	"repro/internal/scratch"
 )
 
@@ -54,6 +59,8 @@ func main() {
 			"scratch-arena buffer reuse: 'on' (pooled temporaries) or 'off' (fresh allocation per call)")
 		adaptMode = flag.String("adapt", "off",
 			"online load-aware tuning: 'on' (grain/policy/cutoffs picked per call site by the adapt runtime) or 'off'")
+		pipelineMode = flag.Bool("pipeline", false,
+			"run the streaming-pipeline traffic demo (gen→map→filter→sort→histogram) and print its throughput/occupancy stats instead of experiments")
 	)
 	flag.Parse()
 
@@ -83,6 +90,14 @@ func main() {
 		fatalf("bad -vprocs: %v", err)
 	}
 
+	if *pipelineMode {
+		if err := runPipelineDemo(cfg, os.Stdout); err != nil {
+			fatalf("pipeline: %v", err)
+		}
+		printRuntimeStats(cfg)
+		return
+	}
+
 	ids := selectIDs(*expFlag)
 	if len(ids) == 0 {
 		fatalf("no experiments selected; try -list")
@@ -106,6 +121,53 @@ func main() {
 		}
 	}
 	printRuntimeStats(cfg)
+}
+
+// runPipelineDemo drives the ISSUE's reference analytics chain — a
+// generated stream mapped, filtered, sorted and histogrammed — through
+// the streaming pipeline runtime, then prints the per-stage breakdown
+// and the throughput/occupancy stats line. It honors the -executor,
+// -scratch, -adapt and -quick flags through cfg.
+func runPipelineDemo(cfg core.Config, w io.Writer) error {
+	n := 1 << 22
+	if cfg.Quick {
+		n = 1 << 16
+	}
+	pOpts := par.Options{Executor: cfg.Executor, Scratch: cfg.Scratch}
+	if len(cfg.Procs) > 0 {
+		pOpts.Procs = cfg.Procs[len(cfg.Procs)-1]
+	}
+	if cfg.Adaptive {
+		pOpts.Adaptive = adapt.Default()
+		if pOpts.Procs <= 1 && runtime.GOMAXPROCS(0) == 1 {
+			// One-core boxes: give the controller a lattice to tune
+			// (the executor's caller participation still completes all
+			// slots), otherwise the adapt stats line reads all zero.
+			pOpts.Procs = 4
+		}
+	} else {
+		pOpts.SerialCutoff = pipeline.DefaultChunkSize
+	}
+	hist := make([]int, pipeline.DemoBuckets)
+	p := pipeline.New(pipeline.Config{Opts: pOpts}).
+		FromFunc(n, pipeline.DemoGen).
+		Map(pipeline.DemoMap).
+		Filter(pipeline.DemoPred).
+		Sort().
+		ToHistogram(hist, pipeline.DemoBucket)
+	if err := p.Run(); err != nil {
+		return err
+	}
+	s := p.Stats()
+	fmt.Fprintf(w, "== streaming pipeline demo — gen→map→filter→sort→histogram, n=%d\n", n)
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "  stage %-10s chunks=%-6d elems=%-9d busy=%s\n",
+			st.Name, st.Chunks, st.Elems, st.Busy.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "pipeline: elems=%d chunks=%d wall=%s throughput=%.1f Melems/s occupancy=%.2f\n",
+		s.SourceElems, s.Chunks, s.Wall.Round(time.Microsecond),
+		s.Throughput()/1e6, s.Occupancy)
+	return nil
 }
 
 // executorFor resolves the -executor flag mode; unknown values are an

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/scratch"
 )
 
@@ -50,6 +52,27 @@ func TestFlagModesAcceptKnownValues(t *testing.T) {
 	}
 }
 
+// TestPipelineDemo smoke-runs the -pipeline mode at quick size and
+// checks the stats line appears with non-zero throughput fields.
+func TestPipelineDemo(t *testing.T) {
+	var buf strings.Builder
+	if err := runPipelineDemo(core.Config{Quick: true}, &buf); err != nil {
+		t.Fatalf("runPipelineDemo: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pipeline: elems=65536") {
+		t.Errorf("stats line missing element count:\n%s", out)
+	}
+	if !strings.Contains(out, "throughput=") || !strings.Contains(out, "occupancy=") {
+		t.Errorf("stats line missing throughput/occupancy:\n%s", out)
+	}
+	for _, stage := range []string{"source", "map", "filter", "sort", "histogram"} {
+		if !strings.Contains(out, "stage "+stage) {
+			t.Errorf("per-stage breakdown missing %q:\n%s", stage, out)
+		}
+	}
+}
+
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,8")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 8 {
@@ -68,7 +91,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 21 {
+	if len(all) != 22 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

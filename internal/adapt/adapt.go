@@ -450,6 +450,30 @@ func (c *Controller) Converged(site *Site, n int) bool {
 	return cs != nil && cs.converged.Load()
 }
 
+// Visits returns the number of measurements recorded for the
+// (site, size-class) of inputs of length n — 0 when the class has
+// never been seen. It is the introspection hook the reentrancy-guard
+// and convergence tests use to assert exactly which sites learned
+// from a call.
+func (c *Controller) Visits(site *Site, n int) int {
+	es := c.entries.Load()
+	if es == nil || int(site.id) >= len(*es) {
+		return 0
+	}
+	e := (*es)[site.id]
+	if e == nil {
+		return 0
+	}
+	cs := e.classes[sizeClass(n)].Load()
+	if cs == nil {
+		return 0
+	}
+	cs.mu.Lock()
+	v := int(cs.visits)
+	cs.mu.Unlock()
+	return v
+}
+
 // Best returns the converged (or current best) decision for inputs of
 // length n at site with p requested workers, without counting as a
 // decision; ok is false when the class has never been seen.

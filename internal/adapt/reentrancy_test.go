@@ -1,0 +1,160 @@
+// Reentrancy guard tests: a kernel with its own adaptive sites (psel's
+// count/pack phases, par.Merge) invoked inside another site's open
+// measured region must neither record timings nor advance exploration —
+// nested Begin/Measure must not corrupt the EWMA of the outer site, and
+// the inner sites must not burn their deterministic sweep on timings
+// that include the outer call's framing.
+//
+// The guard lives in par.BeginAdaptive (the returned Options carry a
+// reentrancy mark), but its observable contract is the controller's:
+// which (site, size-class) classes record visits. These tests pin that
+// contract through the real kernel entry points, which is why they live
+// in adapt's external test package.
+package adapt_test
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/par"
+	"repro/internal/psel"
+)
+
+// exploring returns a controller pinned mid-exploration so every
+// non-nested call records (epsilon 1, never converges).
+func exploring() *adapt.Controller {
+	return adapt.New(adapt.Config{Epsilon: 1, ConvergeAfter: 1 << 30, Seed: 99})
+}
+
+func testInput(n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i*2654435761) % 9973
+	}
+	return xs
+}
+
+// TestNestedRegionRecordsOuterOnly: an inner primitive run with
+// Adaptive restored inside an outer region must leave the inner site's
+// class untouched while the outer site records one visit per call.
+func TestNestedRegionRecordsOuterOnly(t *testing.T) {
+	ctl := exploring()
+	outer := adapt.NewSite("reentrancy.outer", adapt.KindWorkers)
+	inner := adapt.NewSite("reentrancy.inner", adapt.KindWorkers)
+	const n = 1 << 14
+	xs := testInput(n)
+	opts := par.Options{Procs: 4, SerialCutoff: 1, Adaptive: ctl}
+
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		tuned, m := par.BeginAdaptive(outer, n, opts)
+		// The psel pattern: restore the controller so the nested
+		// primitive's own site would tune if it were not nested.
+		tuned.Adaptive = ctl
+		tuned.Site = inner
+		par.Sum(xs, tuned)
+		m.Done()
+	}
+	if got := ctl.Visits(outer, n); got != calls {
+		t.Errorf("outer site visits = %d, want %d", got, calls)
+	}
+	if got := ctl.Visits(inner, n); got != 0 {
+		t.Errorf("inner site visits = %d inside outer region, want 0", got)
+	}
+}
+
+// TestNestedSameSiteDoesNotDoubleCount: reentrant nesting on one site
+// (a recursive kernel measuring itself) must record exactly the outer
+// call, never the inner one — a same-class double Record would mix
+// whole-call and inner-fragment timings into one EWMA.
+func TestNestedSameSiteDoesNotDoubleCount(t *testing.T) {
+	ctl := exploring()
+	site := adapt.NewSite("reentrancy.same", adapt.KindWorkers)
+	const n = 1 << 14
+	xs := testInput(n)
+	opts := par.Options{Procs: 4, SerialCutoff: 1, Adaptive: ctl}
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		tuned, m := par.BeginAdaptive(site, n, opts)
+		tuned.Adaptive = ctl
+		tuned.Site = site // same site, nested
+		par.Sum(xs, tuned)
+		m.Done()
+	}
+	if got := ctl.Visits(site, n); got != calls {
+		t.Errorf("site visits = %d after %d nested same-site calls, want %d (no double count)",
+			got, calls, calls)
+	}
+}
+
+// TestPselAndMergeSitesQuietInsideRegion drives the two kernels the
+// issue names — psel.Select (which deliberately keeps Adaptive set on
+// its count/pack phases) and par.Merge — inside an open region and
+// asserts neither makes a single controller decision there.
+func TestPselAndMergeSitesQuietInsideRegion(t *testing.T) {
+	ctl := exploring()
+	outer := adapt.NewSite("reentrancy.stage", adapt.KindWorkers)
+	const n = 1 << 14
+	xs := testInput(n)
+	a := testInput(n / 2)
+	b := testInput(n / 2)
+	// par.Merge needs sorted runs; build them cheaply.
+	seqSorted := func(v []int64) []int64 {
+		out := append([]int64(nil), v...)
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	as, bs := seqSorted(a[:512]), seqSorted(b[:512])
+	dst := make([]int64, len(as)+len(bs))
+
+	opts := par.Options{Procs: 4, SerialCutoff: 1, Adaptive: ctl}
+	tuned, m := par.BeginAdaptive(outer, n, opts)
+	tuned.Adaptive = ctl // pass the controller through, psel-style
+	base := ctl.Stats().Decisions
+
+	got := psel.Select(xs, n/2, tuned)
+	par.Merge(dst, as, bs, tuned, func(x, y int64) bool { return x < y })
+	m.Done()
+
+	if d := ctl.Stats().Decisions - base; d != 0 {
+		t.Errorf("inner kernels made %d controller decisions inside an open region, want 0", d)
+	}
+	if want := psel.SelectSeq(xs, n/2); got != want {
+		t.Errorf("Select inside region = %d, want %d", got, want)
+	}
+	for i := 1; i < len(dst); i++ {
+		if dst[i] < dst[i-1] {
+			t.Fatalf("Merge inside region produced unsorted output at %d", i)
+		}
+	}
+	if v := ctl.Visits(outer, n); v != 1 {
+		t.Errorf("outer site visits = %d, want 1", v)
+	}
+}
+
+// TestVisitsIntrospection pins the helper itself: unseen classes report
+// zero, non-nested adaptive calls record.
+func TestVisitsIntrospection(t *testing.T) {
+	ctl := exploring()
+	site := adapt.NewSite("reentrancy.visits", adapt.KindWorkers)
+	if got := ctl.Visits(site, 1024); got != 0 {
+		t.Fatalf("unseen class visits = %d, want 0", got)
+	}
+	const n = 1 << 14
+	xs := testInput(n)
+	opts := par.Options{Procs: 4, SerialCutoff: 1, Adaptive: ctl, Site: site}
+	par.Sum(xs, opts)
+	par.Sum(xs, opts)
+	if got := ctl.Visits(site, n); got != 2 {
+		t.Errorf("visits = %d after 2 recorded calls, want 2", got)
+	}
+	// A different size class is independent.
+	if got := ctl.Visits(site, 8); got != 0 {
+		t.Errorf("other size-class visits = %d, want 0", got)
+	}
+}

@@ -1,0 +1,177 @@
+package metatest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pgraph"
+)
+
+// relabel returns g with vertex v renamed to perm[v] (edges and
+// weights carried over).
+func relabel(g *graph.Graph, perm []int) *graph.Graph {
+	edges := g.Edges()
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{U: perm[e.U], V: perm[e.V], W: e.W}
+	}
+	return graph.MustBuild(g.N(), out, g.Weighted())
+}
+
+// testGraphs builds the graph classes under test at metamorphic sizes.
+func testGraphs(quick bool) []struct {
+	name string
+	g    *graph.Graph
+} {
+	scale := 10
+	if quick {
+		scale = 8
+	}
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er", gen.ErdosRenyi(1<<scale, 8, false, 5)},
+		{"rmat", gen.RMAT(scale, 8, false, 6)}, // skewed degrees, multi-edges
+		{"grid", gen.Grid2D(1<<(scale/2), 1<<(scale/2), false, 7)},
+		{"tree", gen.RandomTree(1<<scale, false, 8)},
+		{"tiny", gen.ErdosRenyi(3, 1, false, 9)},
+	}
+}
+
+// TestMetaBFSRelabeling: hop distances are label-equivariant —
+// BFS(π(g), π(src))[π(v)] == BFS(g, src)[v] for every vertex.
+func TestMetaBFSRelabeling(t *testing.T) {
+	graphs := testGraphs(testing.Short())
+	forEach(t, smallMatrix(), func(t *testing.T, opts par.Options) {
+		for _, tc := range graphs {
+			n := tc.g.N()
+			perm := permutation(n, uint64(n)*13+1)
+			rg := relabel(tc.g, perm)
+			src := 0
+			d1 := pgraph.BFS(tc.g, src, opts)
+			d2 := pgraph.BFS(rg, perm[src], opts)
+			for v := 0; v < n; v++ {
+				if d2[perm[v]] != d1[v] {
+					t.Fatalf("%s: BFS dist of relabeled %d->%d = %d, want %d",
+						tc.name, v, perm[v], d2[perm[v]], d1[v])
+				}
+			}
+		}
+	})
+}
+
+// TestMetaBFSHybridRelabeling extends the relation to the
+// direction-optimizing BFS (its bottom-up sweeps visit vertices in a
+// different order, so equivariance is a real constraint).
+func TestMetaBFSHybridRelabeling(t *testing.T) {
+	graphs := testGraphs(true)
+	forEach(t, smallMatrix(), func(t *testing.T, opts par.Options) {
+		for _, tc := range graphs {
+			n := tc.g.N()
+			perm := permutation(n, uint64(n)*17+2)
+			rg := relabel(tc.g, perm)
+			d1 := pgraph.BFSHybrid(tc.g, 0, 14, opts)
+			d2 := pgraph.BFSHybrid(rg, perm[0], 14, opts)
+			for v := 0; v < n; v++ {
+				if d2[perm[v]] != d1[v] {
+					t.Fatalf("%s: hybrid BFS dist of %d = %d after relabel, want %d",
+						tc.name, v, d2[perm[v]], d1[v])
+				}
+			}
+		}
+	})
+}
+
+// samePartitionUnderPerm checks that two labelings induce the same
+// partition modulo the permutation: l1[u] == l1[v] iff
+// l2[perm[u]] == l2[perm[v]], via a canonical bijection check.
+func samePartitionUnderPerm(t *testing.T, what string, l1, l2 []int32, perm []int) {
+	t.Helper()
+	fwd := map[int32]int32{}
+	rev := map[int32]int32{}
+	for v := range l1 {
+		a, b := l1[v], l2[perm[v]]
+		if x, ok := fwd[a]; ok && x != b {
+			t.Fatalf("%s: label %d maps to both %d and %d (partition split)", what, a, x, b)
+		}
+		if x, ok := rev[b]; ok && x != a {
+			t.Fatalf("%s: labels %d and %d merge into %d (partition coarsened)", what, a, x, b)
+		}
+		fwd[a] = b
+		rev[b] = a
+	}
+}
+
+// TestMetaCCRelabeling: the connected-component partition refines
+// identically under relabeling, for both CC algorithms.
+func TestMetaCCRelabeling(t *testing.T) {
+	algos := []struct {
+		name string
+		run  func(*graph.Graph, par.Options) []int32
+	}{
+		{"hook", pgraph.CCHook},
+		{"labelprop", pgraph.CCLabelProp},
+	}
+	graphs := testGraphs(testing.Short())
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			forEach(t, smallMatrix(), func(t *testing.T, opts par.Options) {
+				for _, tc := range graphs {
+					n := tc.g.N()
+					perm := permutation(n, uint64(n)*19+3)
+					rg := relabel(tc.g, perm)
+					l1 := a.run(tc.g, opts)
+					l2 := a.run(rg, opts)
+					samePartitionUnderPerm(t, fmt.Sprintf("%s/%s", a.name, tc.name), l1, l2, perm)
+					if c1, c2 := pgraph.CountComponents(l1), pgraph.CountComponents(l2); c1 != c2 {
+						t.Fatalf("%s/%s: %d components before relabel, %d after", a.name, tc.name, c1, c2)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestMetaPageRankRelabeling: PageRank values are label-equivariant up
+// to floating-point summation order; rank order is preserved for
+// clearly separated values. Checked on the default matrix only (the
+// kernel is schedule-deterministic per value; the matrix sweep lives
+// in the cheaper tests above).
+func TestMetaPageRankRelabeling(t *testing.T) {
+	graphs := testGraphs(testing.Short())
+	opts := par.Options{Procs: 4, SerialCutoff: 1}
+	const tol = 1e-7
+	for _, tc := range graphs {
+		n := tc.g.N()
+		perm := permutation(n, uint64(n)*23+4)
+		rg := relabel(tc.g, perm)
+		r1 := pgraph.PageRank(tc.g, 0.85, 1e-10, 500, opts).Ranks
+		r2 := pgraph.PageRank(rg, 0.85, 1e-10, 500, opts).Ranks
+		for v := 0; v < n; v++ {
+			if d := math.Abs(r2[perm[v]] - r1[v]); d > tol {
+				t.Fatalf("%s: rank of %d differs by %g after relabel (%g vs %g)",
+					tc.name, v, d, r1[v], r2[perm[v]])
+			}
+		}
+		// Rank-order preservation on well-separated pairs: compare the
+		// max-rank vertex, which must stay the max modulo tol ties.
+		best1, best2 := 0, 0
+		for v := 1; v < n; v++ {
+			if r1[v] > r1[best1] {
+				best1 = v
+			}
+			if r2[v] > r2[best2] {
+				best2 = v
+			}
+		}
+		if math.Abs(r2[best2]-r2[perm[best1]]) > tol {
+			t.Fatalf("%s: max-rank vertex changed under relabeling (%d vs preimage of %d)",
+				tc.name, perm[best1], best2)
+		}
+	}
+}

@@ -40,7 +40,13 @@ type Measure struct {
 // The returned Options have Adaptive and Site cleared: the decision
 // covers the whole kernel call, so nested primitive calls run with the
 // decided parameters instead of re-tuning (and re-timing) inside the
-// measured region.
+// measured region. That contract is enforced even against kernels that
+// restore Adaptive on derived Options (psel keeps it set so its
+// count/pack phases learn per round; pipeline stages pass it through
+// to psort and par.Merge): the returned Options carry a reentrancy
+// mark, and a nested BeginAdaptive that sees the mark is inert — no
+// decision, no token, no timing — so the outer site's EWMA only ever
+// sees its own whole-call measurements.
 func BeginAdaptive(site *adapt.Site, n int, opts Options) (Options, Measure) {
 	ctl := opts.Adaptive
 	if ctl == nil {
@@ -51,6 +57,11 @@ func BeginAdaptive(site *adapt.Site, n int, opts Options) (Options, Measure) {
 	}
 	opts.Adaptive = nil
 	opts.Site = nil
+	if opts.inMeasured {
+		// Reentrancy guard: an enclosing region already decided the
+		// parameters and owns the timing; run with them as-is.
+		return opts, Measure{}
+	}
 	if n <= 0 || site == nil {
 		return opts, Measure{}
 	}
@@ -63,6 +74,7 @@ func BeginAdaptive(site *adapt.Site, n int, opts Options) (Options, Measure) {
 	}
 	d, tok := ctl.Decide(site, n, p, opts.executor().Occupancy())
 	opts = applyDecision(opts, d)
+	opts.inMeasured = true
 	if !tok.Valid() {
 		return opts, Measure{}
 	}

@@ -118,6 +118,15 @@ type Options struct {
 	// means the primitive's own named site, or (for For/ForRange) a
 	// site derived from the caller's program counter.
 	Site *adapt.Site
+	// inMeasured marks Options derived from an open adaptive region
+	// (BeginAdaptive sets it on the Options it returns). It is the
+	// reentrancy guard: a nested BeginAdaptive that sees it — a kernel
+	// with its own sites, like psel's count/pack phases or par.Merge,
+	// invoked with Adaptive restored inside an outer measured region —
+	// makes no decision and records no timing, so nested exploration
+	// can never corrupt the outer site's EWMA (or waste the inner
+	// site's sweep on timings that include the outer call's framing).
+	inMeasured bool
 }
 
 // DefaultGrain is the chunk size used when Options.Grain is unset.

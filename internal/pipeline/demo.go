@@ -1,0 +1,23 @@
+package pipeline
+
+// The reference analytics chain: one definition of the gen → map →
+// filter → histogram workload shared by experiment E22
+// (internal/core), the parbench -pipeline demo, and the
+// BenchmarkTrafficPipeline acceptance benchmark — so all three
+// measure the same chain by construction.
+
+// DemoBuckets is the reference chain's histogram width.
+const DemoBuckets = 1024
+
+// DemoGen is the reference source: a cheap splitmix-style hash of the
+// index (pure, allocation-free).
+func DemoGen(i int) int64 { return int64(uint64(i) * 0x9E3779B97F4A7C15 >> 13) }
+
+// DemoMap is the reference map stage (an LCG-style mix).
+func DemoMap(v int64) int64 { return v*0x2545F4914F6CDD1D + 0x9E3779B9 }
+
+// DemoPred is the reference filter: keep ~7/8 of the stream.
+func DemoPred(v int64) bool { return v&7 != 0 }
+
+// DemoBucket maps a value onto [0, DemoBuckets).
+func DemoBucket(v int64) int { return int(uint64(v) >> 54) }

@@ -97,7 +97,7 @@ func TestFacadeMatMulJacobi(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 21 || ids[0] != "E1" {
+	if len(ids) != 22 || ids[0] != "E1" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	var buf bytes.Buffer
@@ -144,5 +144,38 @@ func TestFacadeAdaptive(t *testing.T) {
 	}
 	if got != want2 {
 		t.Fatalf("dedicated-controller Sum = %d, want %d", got, want2)
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	xs := RandomInts(20000, 9)
+	var got []int64
+	p := NewPipeline(PipelineConfig{ChunkSize: 1024}).
+		FromSlice(xs).
+		Map(func(v int64) int64 { return v >> 1 }).
+		Filter(func(v int64) bool { return v&1 == 0 }).
+		Sort().
+		To(&got)
+	if err := p.Run(); err != nil {
+		t.Fatalf("pipeline Run: %v", err)
+	}
+	var want []int64
+	for _, v := range xs {
+		if m := v >> 1; m&1 == 0 {
+			want = append(want, m)
+		}
+	}
+	SequentialSort(want)
+	if len(got) != len(want) {
+		t.Fatalf("pipeline emitted %d elements, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	s := p.Stats()
+	if s.SourceElems != 20000 || s.Throughput() <= 0 {
+		t.Errorf("stats = %+v, want 20000 source elems and positive throughput", s)
 	}
 }
