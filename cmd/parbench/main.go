@@ -1,5 +1,6 @@
 // Command parbench regenerates the evaluation's tables and figures
-// (experiments E1–E14; see DESIGN.md for the index).
+// (experiments E1–E23; see DESIGN.md for the index) and hosts the
+// runtime traffic demos.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	parbench -exp E1 -csv out/   # also write CSV per experiment
 //	parbench -list               # show the experiment index
 //	parbench -pipeline           # streaming-pipeline traffic demo
+//	parbench -serve              # multi-tenant request-serving demo
 //
 // Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
 // selects the dispatch runtime (shared persistent pool, a dedicated
@@ -16,14 +18,20 @@
 // scratch-arena buffer reuse, and -adapt=on replaces every hard-coded
 // grain/policy/cutoff with the online load-aware tuning runtime
 // (internal/adapt), so the runtime-overhead, GC-pressure and
-// self-tuning deltas are all observable from the CLI. A summary line
+// self-tuning deltas are all observable from the CLI. -serve runs
+// skewed multi-tenant traffic (one hot tenant, three light ones)
+// through the batched admission-control server (internal/serve) and
+// prints its admission/batching counters, client-observed latency
+// percentiles and the per-tenant fair-share split. A summary line
 // after the experiments reports the executor's steal counters next to
 // the scratch pool's hit/miss/bytes gauges (plus, with -adapt=on, the
 // controller's site/exploration/convergence counters). Unknown flag
-// values are rejected with a usage error, never silently defaulted.
+// values are rejected with a usage error, never silently defaulted;
+// -pipeline and -serve are mutually exclusive.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +40,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adapt"
@@ -41,6 +51,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/scratch"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -61,8 +72,14 @@ func main() {
 			"online load-aware tuning: 'on' (grain/policy/cutoffs picked per call site by the adapt runtime) or 'off'")
 		pipelineMode = flag.Bool("pipeline", false,
 			"run the streaming-pipeline traffic demo (gen→map→filter→sort→histogram) and print its throughput/occupancy stats instead of experiments")
+		serveMode = flag.Bool("serve", false,
+			"run the multi-tenant request-serving traffic demo (batched admission control over mixed sort/histogram/scan/sum requests) and print its throughput/latency-percentile stats instead of experiments")
 	)
 	flag.Parse()
+
+	if *pipelineMode && *serveMode {
+		fatalf("-pipeline and -serve are mutually exclusive")
+	}
 
 	if *list {
 		fmt.Println("id    ref       title")
@@ -93,6 +110,14 @@ func main() {
 	if *pipelineMode {
 		if err := runPipelineDemo(cfg, os.Stdout); err != nil {
 			fatalf("pipeline: %v", err)
+		}
+		printRuntimeStats(cfg)
+		return
+	}
+
+	if *serveMode {
+		if err := runServeDemo(cfg, os.Stdout); err != nil {
+			fatalf("serve: %v", err)
 		}
 		printRuntimeStats(cfg)
 		return
@@ -167,6 +192,138 @@ func runPipelineDemo(cfg core.Config, w io.Writer) error {
 	fmt.Fprintf(w, "pipeline: elems=%d chunks=%d wall=%s throughput=%.1f Melems/s occupancy=%.2f\n",
 		s.SourceElems, s.Chunks, s.Wall.Round(time.Microsecond),
 		s.Throughput()/1e6, s.Occupancy)
+	return nil
+}
+
+// runServeDemo drives multi-tenant request traffic — one hot tenant
+// with 8 clients and three light tenants with 2 each, issuing mixed
+// 2K-element sort/histogram/scan/sum requests plus an occasional long
+// sort that routes through the streaming pipeline — through the
+// request-serving runtime, then prints the server's admission/batching
+// counters, client-observed latency percentiles, request throughput,
+// and the per-tenant fair-share split. It honors the -executor,
+// -scratch, -adapt, -procs and -quick flags through cfg.
+func runServeDemo(cfg core.Config, w io.Writer) error {
+	workers := 4
+	if len(cfg.Procs) > 0 {
+		workers = cfg.Procs[len(cfg.Procs)-1]
+	}
+	scfg := serve.Config{
+		Executor:       cfg.Executor,
+		Scratch:        cfg.Scratch,
+		Workers:        workers,
+		MaxQueue:       4,       // small bound: lets the hot tenant's backpressure show
+		PipelineCutoff: 1 << 15, // the demo's "long request" threshold
+	}
+	if cfg.Adaptive {
+		scfg.Adaptive = adapt.Default()
+	}
+	srv := serve.New(scfg)
+	defer srv.Close()
+
+	total := 20000
+	if cfg.Quick {
+		total = 2000
+	}
+	const n = 2048
+	base := make([]int64, n)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	for i := range base {
+		base[i] = int64((uint64(i)*2654435761 + seed) % 100003)
+	}
+	// 14 clients over 4 tenants: "hot" floods with 8, t1..t3 get 2 each.
+	tenants := []string{
+		"hot", "hot", "hot", "hot", "hot", "hot", "hot", "hot",
+		"t1", "t1", "t2", "t2", "t3", "t3",
+	}
+	var next atomic.Int64
+	var retried atomic.Int64
+	lats := make([][]float64, len(tenants))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c, tenant := range tenants {
+		wg.Add(1)
+		go func(c int, tenant string) {
+			defer wg.Done()
+			xs := make([]int64, n)
+			dst := make([]int64, n)
+			hist := make([]int, 1024)
+			var big []int64 // lazily sized for the occasional long sort
+			bucket := func(v int64) int { return int(uint64(v) % 1024) }
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				copy(xs, base)
+				t0 := time.Now()
+				for {
+					var err error
+					switch {
+					case i%512 == 511:
+						if big == nil {
+							big = make([]int64, scfg.PipelineCutoff)
+						}
+						for j := range big {
+							big[j] = base[j%n]
+						}
+						err = srv.Sort(tenant, big)
+					case i%4 == 0:
+						err = srv.Sort(tenant, xs)
+					case i%4 == 1:
+						err = srv.Histogram(tenant, hist, xs, bucket)
+					case i%4 == 2:
+						err = srv.Scan(tenant, dst, xs)
+					default:
+						_, err = srv.Sum(tenant, xs)
+					}
+					if errors.Is(err, serve.ErrRejected) {
+						// Backpressure: back off and retry the same
+						// request — the latency sample keeps accruing,
+						// so the tail reflects the retries.
+						retried.Add(1)
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err != nil {
+						return // demo traffic never errors otherwise
+					}
+					break
+				}
+				lats[c] = append(lats[c], time.Since(t0).Seconds())
+			}
+		}(c, tenant)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), W=%d, %d requests\n",
+		workers, total)
+	avg := 0.0
+	if st.Batches > 0 {
+		avg = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	fmt.Fprintf(w, "serve: accepted=%d completed=%d rejected=%d (retried=%d) | batches=%d reqs/batch=%.1f maxbatch=%d parallel=%d serial=%d | shed=%d degraded=%d pipelined=%d\n",
+		st.Accepted, st.Completed, st.Rejected, retried.Load(),
+		st.Batches, avg, st.MaxBatch, st.ParallelBatches, st.SerialBatches,
+		st.Shed, st.Degraded, st.Pipelined)
+	fmt.Fprintf(w, "latency: p50=%s p95=%s p99=%s | throughput=%.0f req/s over %s\n",
+		perf.FormatDuration(perf.Percentile(all, 50)),
+		perf.FormatDuration(perf.Percentile(all, 95)),
+		perf.FormatDuration(perf.Percentile(all, 99)),
+		float64(len(all))/wall.Seconds(), wall.Round(time.Millisecond))
+	for _, ts := range srv.TenantStats() {
+		fmt.Fprintf(w, "tenant %-4s accepted=%-6d completed=%-6d rejected=%d\n",
+			ts.Name, ts.Accepted, ts.Completed, ts.Rejected)
+	}
 	return nil
 }
 

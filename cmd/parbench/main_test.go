@@ -73,6 +73,26 @@ func TestPipelineDemo(t *testing.T) {
 	}
 }
 
+// TestServeDemo smoke-runs the -serve mode at quick size and checks
+// the admission stats, latency percentiles and per-tenant fair-share
+// lines appear with every request accounted for.
+func TestServeDemo(t *testing.T) {
+	var buf strings.Builder
+	if err := runServeDemo(core.Config{Quick: true}, &buf); err != nil {
+		t.Fatalf("runServeDemo: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "completed=2000") {
+		t.Errorf("stats line missing completed count:\n%s", out)
+	}
+	for _, want := range []string{"serve: accepted=", "reqs/batch=", "pipelined=",
+		"latency: p50=", "p95=", "p99=", "req/s", "tenant hot", "tenant t1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,8")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 8 {
@@ -91,7 +111,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 22 {
+	if len(all) != 23 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

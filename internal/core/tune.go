@@ -1,8 +1,3 @@
-// Package core is the engineering-loop library: it ties the substrates
-// together into the methodology's workflow — tune (grain size, schedule
-// policy), calibrate (fit machine-model parameters from measurements),
-// predict (evaluate model costs), and experiment (regenerate every table
-// and figure of the reconstructed evaluation, E1–E14).
 package core
 
 import (

@@ -1,10 +1,3 @@
-// Package gen generates the synthetic workloads used throughout the
-// experiment suite: numeric arrays with controlled distributions, random
-// linked lists for the list-ranking case study, graphs from several
-// generative models, and dense matrices.
-//
-// Every generator takes an explicit seed so experiments are reproducible,
-// a core requirement of the algorithm-engineering methodology.
 package gen
 
 import (

@@ -1,0 +1,13 @@
+// Package gen generates the synthetic workloads used throughout the
+// experiment suite: numeric arrays with controlled distributions, random
+// linked lists for the list-ranking case study, graphs from several
+// generative models, and dense matrices.
+//
+// Every generator takes an explicit seed so experiments are reproducible,
+// a core requirement of the algorithm-engineering methodology.
+//
+// Layering: gen consumes rng (deterministic streams) and graph
+// (CSR construction); it feeds the core experiment suite, the
+// differential/metamorphic test oracles, genio's on-disk workload
+// format, and the repro facade's Random* constructors.
+package gen

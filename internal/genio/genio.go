@@ -1,12 +1,3 @@
-// Package genio reads and writes the suite's workloads in simple
-// line-oriented text formats, so experiments can be re-run on byte-
-// identical inputs on other machines or inspected with standard tools.
-//
-// Formats (all whitespace-separated decimal):
-//
-//	array: one integer per line
-//	graph: "n m" header, then one "u v w" line per undirected edge
-//	list:  "n head" header, then one successor index per line
 package genio
 
 import (

@@ -1,11 +1,3 @@
-// Package graph provides a compact adjacency (CSR) graph representation
-// shared by the graph case studies and workload generators.
-//
-// Graphs are simple, undirected, and optionally weighted. Nodes are dense
-// integer identifiers 0..N-1. The CSR layout (offset array + neighbor
-// array) is the standard HPC representation: it is cache-friendly for the
-// sweep-style access patterns of parallel graph kernels and admits
-// trivially balanced edge partitioning.
 package graph
 
 import (

@@ -1,19 +1,3 @@
-// Package machine implements the abstract parallel machine models used to
-// design and predict the performance of the case-study algorithms: PRAM
-// work/depth (with Brent's scheduling bound), BSP (Valiant 1990), and
-// LogP (Culler et al. 1993).
-//
-// In the algorithm-engineering loop, models serve two purposes:
-//
-//  1. Design time: choose between algorithms by comparing their model
-//     costs before writing code (e.g. pointer jumping is work-inefficient
-//     — Θ(n log n) work — so it can only win when P is large relative to
-//     the log n factor).
-//  2. Validation time: fit the model's machine parameters from
-//     micro-benchmarks, predict each kernel's running time, and compare
-//     against measurements. Agreement means the implementation has no
-//     hidden performance bug; disagreement is a finding. Experiments E9
-//     and E13 perform this validation.
 package machine
 
 import (

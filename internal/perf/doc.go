@@ -1,0 +1,10 @@
+// Package perf is the experiment harness: it runs measured experiments
+// over parameter sweeps with warmup and repetition, computes the summary
+// statistics the methodology prescribes (median and mean with dispersion,
+// geometric means for ratio aggregation, speedup/efficiency/Karp–Flatt
+// metrics), and renders results as aligned text tables and CSV.
+//
+// Layering: perf is a leaf measurement package; it feeds core's
+// experiment tables, cmd/parbench (rendering, CSV, the -serve
+// latency percentiles) and cmd/parstudy.
+package perf

@@ -1,8 +1,3 @@
-// Package perf is the experiment harness: it runs measured experiments
-// over parameter sweeps with warmup and repetition, computes the summary
-// statistics the methodology prescribes (median and mean with dispersion,
-// geometric means for ratio aggregation, speedup/efficiency/Karp–Flatt
-// metrics), and renders results as aligned text tables and CSV.
 package perf
 
 import (
@@ -10,6 +5,29 @@ import (
 	"math"
 	"sort"
 )
+
+// Percentile returns the q-th percentile (q in [0,100]) of xs by the
+// nearest-rank method on a sorted copy, or 0 for an empty sample. It
+// is the latency-percentile helper behind the request-serving stats
+// lines (core experiment E23, cmd/parbench -serve).
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
 
 // Summary holds descriptive statistics of a sample of measurements.
 type Summary struct {

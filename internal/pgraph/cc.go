@@ -1,15 +1,3 @@
-// Package pgraph implements the parallel graph case studies: connected
-// components (synchronous label propagation and hook-and-shortcut),
-// level-synchronous parallel BFS, and Borůvka's minimum-spanning-tree
-// algorithm, all engineered against the sequential baselines in
-// internal/seq.
-//
-// Graph algorithms are where the methodology's structural concerns bite
-// hardest: work per node is degree-dependent (load imbalance on power-law
-// graphs), convergence is diameter-dependent (label propagation on meshes
-// needs Θ(diameter) rounds), and synchronization strategy (synchronous
-// double buffering vs. asynchronous atomics) trades determinism against
-// convergence speed. Experiments E5 and E6 explore these axes.
 package pgraph
 
 import (

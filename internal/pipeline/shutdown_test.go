@@ -85,8 +85,10 @@ func TestCloseMidStreamReleasesScratch(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	p := New(Config{ChunkSize: 256, QueueDepth: 1,
-		Opts: par.Options{Procs: 2, SerialCutoff: 1, Scratch: pool}}).
+	p := New(Config{
+		ChunkSize: 256, QueueDepth: 1,
+		Opts: par.Options{Procs: 2, SerialCutoff: 1, Scratch: pool},
+	}).
 		FromSlice(input(1 << 20)). // far more than the queues can hold
 		Map(func(v int64) int64 { return v + 1 }).
 		Sort(). // holds run state that must also be released
@@ -118,8 +120,10 @@ func TestCloseMidStreamReleasesScratch(t *testing.T) {
 // cancel while every stage is mid-stream.
 func TestCloseWithoutSinkProgress(t *testing.T) {
 	pool := scratch.New()
-	p := New(Config{ChunkSize: 128, QueueDepth: 1,
-		Opts: par.Options{Procs: 2, SerialCutoff: 1, Scratch: pool}}).
+	p := New(Config{
+		ChunkSize: 128, QueueDepth: 1,
+		Opts: par.Options{Procs: 2, SerialCutoff: 1, Scratch: pool},
+	}).
 		FromFunc(1<<30, func(i int) int64 { return int64(i ^ 0x55) }). // effectively endless
 		Sort().
 		Discard()

@@ -1,13 +1,3 @@
-// Package plist implements the list-ranking case study: Wyllie's
-// pointer-jumping algorithm against the sequential pointer-chasing sweep.
-//
-// List ranking is the methodology's canonical example of a
-// *work-inefficient* parallel algorithm: pointer jumping performs
-// Θ(n log n) work versus the sweep's Θ(n), so on P processors it can win
-// only when P substantially exceeds log n — and the sequential sweep's
-// only weakness is memory latency on randomly laid-out lists. Experiment
-// E4 locates this crossover empirically; the PRAM model (machine.
-// ListRankWD) predicts it.
 package plist
 
 import (

@@ -1,0 +1,13 @@
+// Package pmat implements the dense matrix-multiplication case study:
+// a cache-blocked, row-parallel kernel against the naive triple loop.
+//
+// Matmul is the methodology's compute-bound exhibit: its arithmetic
+// intensity grows with the block size, so the engineering question is not
+// whether it parallelizes (it does, embarrassingly) but how the memory
+// hierarchy interacts with blocking — experiment E7 sweeps the block size
+// to expose the cache plateau the model predicts.
+//
+// Layering: pmat consumes gen (the dense Matrix type) and par
+// (blocked loops); it feeds core's matmul experiments and the
+// repro facade (MatMul).
+package pmat

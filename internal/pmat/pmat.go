@@ -1,11 +1,3 @@
-// Package pmat implements the dense matrix-multiplication case study:
-// a cache-blocked, row-parallel kernel against the naive triple loop.
-//
-// Matmul is the methodology's compute-bound exhibit: its arithmetic
-// intensity grows with the block size, so the engineering question is not
-// whether it parallelizes (it does, embarrassingly) but how the memory
-// hierarchy interacts with blocking — experiment E7 sweeps the block size
-// to expose the cache plateau the model predicts.
 package pmat
 
 import (

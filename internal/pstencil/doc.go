@@ -1,0 +1,14 @@
+// Package pstencil implements the iterative-stencil case study: the
+// 5-point Jacobi relaxation parallelized by row bands.
+//
+// Stencils are the memory-bound, synchronization-heavy end of the case
+// study spectrum: each sweep reads and writes the whole grid (arithmetic
+// intensity ~1 flop/word) and every iteration ends in a barrier, so the
+// kernel measures how well a machine amortizes barrier latency against
+// bandwidth — the same w vs. l tension the BSP model expresses.
+// Experiment E8 runs the strong-scaling sweep.
+//
+// Layering: pstencil consumes gen (the Grid type) and par (sweep
+// loops); it feeds core's stencil experiments and the repro
+// facade (Jacobi).
+package pstencil

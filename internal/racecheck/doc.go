@@ -1,0 +1,9 @@
+// Package racecheck reports whether the race detector is on, so
+// allocation-regression tests can skip themselves: race
+// instrumentation allocates, which would fail every AllocsPerRun
+// assertion spuriously.
+//
+// Layering: racecheck is a leaf build-info package; it feeds the
+// allocation-regression tests in par, psort, pipeline and exec,
+// which skip themselves under -race.
+package racecheck

@@ -1,9 +1,5 @@
 //go:build !race
 
-// Package racecheck reports whether the race detector is on, so
-// allocation-regression tests can skip themselves: race
-// instrumentation allocates, which would fail every AllocsPerRun
-// assertion spuriously.
 package racecheck
 
 // Enabled reports whether the binary was built with -race.

@@ -1,14 +1,3 @@
-// Package rng provides a small, fast, deterministic, splittable
-// pseudo-random number generator for reproducible parallel experiments.
-//
-// Reproducibility is central to the algorithm-engineering loop: every
-// workload in this repository is generated from an explicit seed, and
-// parallel generators obtain statistically independent streams by
-// splitting rather than by sharing (and locking) one generator.
-//
-// The core generator is SplitMix64 (Steele, Lea, Flood: "Fast Splittable
-// Pseudorandom Number Generators", OOPSLA 2014), which passes BigCrush,
-// has a period of 2^64, and splits in O(1).
 package rng
 
 import "math"

@@ -1,26 +1,3 @@
-// Package sched implements a work-stealing fork/join task scheduler.
-//
-// Loop-level primitives (package par) cover regular, counted iteration
-// spaces. Irregular computations — recursive decompositions whose subtask
-// sizes are unknown in advance (tree algorithms, divide and conquer on
-// skewed data) — need dynamic task parallelism instead. The classic
-// engineering answer is work stealing (Blumofe & Leiserson 1999): each
-// worker owns a double-ended queue, pushes and pops spawned tasks at the
-// bottom (LIFO, for locality), and steals from the top of a random
-// victim's deque when its own is empty (FIFO, stealing the largest
-// remaining subtrees).
-//
-// Pool is a thin adapter over the persistent executor runtime
-// (internal/exec): it owns the task deques and the termination
-// detection, but its worker loops run as slots of one exec.Run on the
-// shared process-wide pool (or a pool pinned with NewPoolOn), so
-// loop-level and task-level parallelism share one set of goroutines.
-// Because exec's caller participates in every Run, Pool.Run issued from
-// inside a par body or another Pool's task completes without
-// deadlocking even when the pool is saturated.
-//
-// Experiment E12 compares this scheduler against static loop
-// parallelization on irregular task trees.
 package sched
 
 import (

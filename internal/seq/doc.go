@@ -1,0 +1,14 @@
+// Package seq provides carefully written sequential baselines for every
+// case-study kernel. The algorithm-engineering methodology insists that
+// parallel algorithms be compared against the best practical sequential
+// code — not against their own one-processor execution — because parallel
+// overheads (extra passes, synchronization, work inflation) must be paid
+// for by real speedup. Experiment E14 reports the T1/Tseq overhead ratio
+// for every kernel in the suite.
+//
+// Layering: seq consumes only gen and graph (input types); it
+// feeds the engineered-baseline rows of core's experiments, the
+// differential and metamorphic oracles, psort/psel's serial
+// fallbacks, and the serve runtime's batch slots (a batched
+// request runs its kernel serially).
+package seq

@@ -1,10 +1,3 @@
-// Package seq provides carefully written sequential baselines for every
-// case-study kernel. The algorithm-engineering methodology insists that
-// parallel algorithms be compared against the best practical sequential
-// code — not against their own one-processor execution — because parallel
-// overheads (extra passes, synchronization, work inflation) must be paid
-// for by real speedup. Experiment E14 reports the T1/Tseq overhead ratio
-// for every kernel in the suite.
 package seq
 
 // Quicksort sorts xs in place with median-of-three pivoting and an

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/par"
+	"repro/internal/psort"
+	"repro/internal/scratch"
+)
+
+// BenchmarkTrafficServe is the request-serving half of the traffic
+// suite: many client goroutines each issuing small mixed requests
+// (sort / histogram / scan / sum, 2K elements each — the shape of an
+// aggregation endpoint), handled either by the batched
+// admission-control server (one fused fork/join per batch, kernels
+// serial inside their slot) or by naive per-request dispatch (every
+// request invokes the parallel kernel directly — how all pre-serve
+// entry points behave). Both modes run at equal worker count on the
+// same dedicated executor and scratch pool, so the delta is purely
+// the request-handling discipline. Expected shape: batched >= 1.5x
+// the naive throughput at ~10x fewer B/op — per-request fork/join,
+// splitter sampling, private-histogram zeroing and scan-partials
+// overheads are paid once per batch instead of once per tiny request,
+// and request-level parallelism replaces oversubscribed kernel-level
+// parallelism.
+func BenchmarkTrafficServe(b *testing.B) {
+	b.Run("batched", func(b *testing.B) { benchTrafficServe(b, true) })
+	b.Run("naive", func(b *testing.B) { benchTrafficServe(b, false) })
+}
+
+// trafficWorkers is the worker count both modes run at.
+const trafficWorkers = 4
+
+// benchTrafficServe drives b.N mixed requests from 16 clients.
+func benchTrafficServe(b *testing.B, batched bool) {
+	e := exec.New(trafficWorkers)
+	defer e.Close()
+	sp := scratch.New()
+
+	const n = 2 << 10
+	base := randInts(n, 42)
+
+	var s *Server
+	if batched {
+		s = New(Config{Executor: e, Scratch: sp, Workers: trafficWorkers,
+			BatchWindow: 200 * time.Microsecond})
+		defer s.Close()
+	}
+	naiveOpts := par.Options{Procs: trafficWorkers, Executor: e, Scratch: sp}
+
+	const clients = 16
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := string(rune('a' + c%4))
+			xs := make([]int64, n)
+			dst := make([]int64, n)
+			hist := make([]int, 1024)
+			bucket := func(v int64) int { return int(uint64(v) % 1024) }
+			add := func(a, b int64) int64 { return a + b }
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				copy(xs, base)
+				switch i % 4 {
+				case 0:
+					if batched {
+						_ = s.Sort(tenant, xs)
+					} else {
+						psort.SampleSort(xs, naiveOpts)
+					}
+				case 1:
+					if batched {
+						_ = s.Histogram(tenant, hist, xs, bucket)
+					} else {
+						par.HistogramInto(hist, xs, naiveOpts, bucket)
+					}
+				case 2:
+					if batched {
+						_ = s.Scan(tenant, dst, xs)
+					} else {
+						par.ScanInclusive(dst, xs, naiveOpts, 0, add)
+					}
+				case 3:
+					if batched {
+						_, _ = s.Sum(tenant, xs)
+					} else {
+						par.Sum(xs, naiveOpts)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if batched {
+		st := s.Stats()
+		if st.Batches > 0 {
+			b.ReportMetric(float64(st.BatchedRequests)/float64(st.Batches), "reqs/batch")
+		}
+	}
+}

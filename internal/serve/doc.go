@@ -1,0 +1,54 @@
+// Package serve is the request-serving runtime: a multi-tenant front
+// door that sits between concurrent callers and the kernel stack, the
+// layer the ROADMAP's heavy-traffic north star serves requests through.
+//
+// Every other entry point in the repository (the repro facade, the
+// parbench harness, the pipeline runtime) assumes one caller invoking
+// one kernel at a time. Under request traffic — many goroutines each
+// issuing a small sort, selection, histogram, scan or graph query —
+// that model pays one fork/join, one adaptive decision and one set of
+// scratch acquisitions per tiny call, and lets any one caller flood
+// the shared executor. serve replaces it with three mechanisms, in
+// request order:
+//
+//   - Admission control, driven by exec.Executor.Occupancy. Each
+//     tenant owns a bounded FIFO; a full queue rejects with ErrRejected
+//     (backpressure the caller can see), and the effective queue bound
+//     halves once the executor is saturated, so rejection pressure
+//     rises with load instead of queueing unboundedly. Batches formed
+//     while occupancy is moderate run with proportionally shed
+//     workers; at saturation they are shed to serial execution on the
+//     dispatcher goroutine — the same degrade-don't-pile-on discipline
+//     as internal/adapt, applied one layer up.
+//
+//   - Batched execution. A single dispatcher drains the tenant queues
+//     into one batch (bounded by MaxBatch, accumulated for at most
+//     BatchWindow) and executes the whole batch as ONE fused parallel
+//     loop over requests — one pooled fork/join amortized across N
+//     requests, each request running its kernel serially inside its
+//     slot. The batch loop is an adaptive call site ("serve.batch"),
+//     so grain and policy over requests are learned per batch-size
+//     class like any kernel loop. Request temporaries draw from the
+//     configured scratch pool exactly as direct kernel calls do.
+//
+//   - Fair-share scheduling. Batches are formed round-robin across
+//     tenants, one request per tenant per turn, so a hot tenant's
+//     backlog cannot starve light tenants: a tenant that submits one
+//     request gets a batch slot within one round regardless of how
+//     deep any other tenant's queue is. Per-tenant accept/reject/
+//     complete counters (TenantStats) make the shares observable.
+//
+// Requests whose inputs are large enough that batching them would
+// stall the batch (Config.PipelineCutoff) bypass the queues and route
+// through the streaming pipeline runtime (internal/pipeline) on the
+// caller's goroutine, so the batch path stays reserved for the small
+// requests that benefit from it.
+//
+// Layering: serve sits above internal/exec (occupancy gauge, pooled
+// fork/join), internal/scratch (request temporaries), internal/adapt
+// (the batch site), internal/pipeline (long-request route) and the
+// kernel packages (seq, par, psel, pgraph); it feeds the repro facade
+// (repro.NewServer) and cmd/parbench's -serve traffic mode.
+// BenchmarkTrafficServe quantifies the batching win over naive
+// per-request dispatch at equal worker count.
+package serve

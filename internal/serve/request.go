@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pgraph"
+	"repro/internal/pipeline"
+	"repro/internal/psel"
+	"repro/internal/seq"
+)
+
+// op tags the kernel a request runs.
+type op uint8
+
+const (
+	opSort op = iota
+	opSelect
+	opHistogram
+	opScan
+	opSum
+	opBFS
+)
+
+// request is one queued unit of work. Instances are pooled (reqPool)
+// and reused with their done channel; every field except done is
+// overwritten on reuse.
+type request struct {
+	op         op
+	tenantName string
+	t          *tenant
+	next       *request // intrusive tenant-queue link
+
+	xs     []int64
+	dst    []int64         // scan output
+	hist   []int           // histogram output
+	bucket func(int64) int // histogram bucketer
+	k      int             // select rank
+	g      *graph.Graph    // bfs input
+	src    int             // bfs source
+	out    int64           // select/sum result
+	dist   []int32         // bfs result
+	err    error
+	done   chan struct{} // cap 1; signaled exactly once per execution
+}
+
+// getRequest takes a pooled request and stamps its identity fields.
+func (s *Server) getRequest(o op, tenant string, xs []int64) *request {
+	r := s.reqPool.Get().(*request)
+	*r = request{op: o, tenantName: tenant, xs: xs, done: r.done}
+	return r
+}
+
+// putRequest returns a request to the pool, dropping the payload
+// references so pooled requests never pin caller slices.
+func (s *Server) putRequest(r *request) {
+	*r = request{done: r.done}
+	s.reqPool.Put(r)
+}
+
+// serialOpts are the Options a request's kernel runs under inside a
+// batch slot: strictly serial (the batch loop owns the parallelism —
+// one fused fork/join over requests, not one per request) but drawing
+// temporaries from the server's scratch pool like any kernel call.
+func (s *Server) serialOpts() par.Options {
+	return par.Options{
+		Procs:        1,
+		SerialCutoff: 1 << 62,
+		Executor:     s.cfg.Executor,
+		Scratch:      s.cfg.Scratch,
+	}
+}
+
+// runOne executes one request serially inside its batch slot and
+// signals its waiter. Kernel panics (a bucket function out of range,
+// a malformed graph) are confined to the request: they become its
+// error instead of killing a pooled worker.
+func (s *Server) runOne(r *request) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.err = fmt.Errorf("serve: request panicked: %v", p)
+		}
+		r.t.completed.Add(1)
+		s.completed.Add(1)
+		r.done <- struct{}{}
+	}()
+	opts := s.serialOpts()
+	switch r.op {
+	case opSort:
+		seq.Quicksort(r.xs)
+	case opSelect:
+		r.out = psel.Select(r.xs, r.k, opts)
+	case opHistogram:
+		par.HistogramInto(r.hist, r.xs, opts, r.bucket)
+	case opScan:
+		par.ScanInclusive(r.dst, r.xs, opts, 0, func(a, b int64) int64 { return a + b })
+	case opSum:
+		r.out = par.Sum(r.xs, opts)
+	case opBFS:
+		r.dist = pgraph.BFS(r.g, r.src, opts)
+	}
+}
+
+// pipelineOpts are the Options the long-request pipeline route runs
+// under: stage concurrency owns the parallelism, so chunks run serial
+// unless the adaptive controller is deciding.
+func (s *Server) pipelineOpts() par.Options {
+	opts := par.Options{
+		Executor: s.cfg.Executor,
+		Scratch:  s.cfg.Scratch,
+		Adaptive: s.cfg.Adaptive,
+	}
+	if opts.Adaptive == nil {
+		opts.SerialCutoff = pipeline.DefaultChunkSize
+	}
+	return opts
+}
+
+// admitted wraps the counters for a request that bypasses the queues
+// (the pipeline route): it is accepted and completed but never
+// batched.
+func (s *Server) admitted(tenant string) (*tenant, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t := s.tenantLocked(tenant)
+	s.mu.Unlock()
+	t.accepted.Add(1)
+	s.accepted.Add(1)
+	s.pipelined.Add(1)
+	return t, nil
+}
+
+// sortPipeline sorts xs through the streaming pipeline runtime on the
+// caller's goroutine. Safe to write the sorted stream back into xs:
+// the Sort stage is blocking, so the source has fully drained xs
+// before the sink receives its first chunk.
+func (s *Server) sortPipeline(tenant string, xs []int64) error {
+	t, err := s.admitted(tenant)
+	if err != nil {
+		return err
+	}
+	off := 0
+	p := pipeline.New(pipeline.Config{Opts: s.pipelineOpts()}).
+		FromSlice(xs).
+		Sort().
+		ToFunc(func(buf []int64) error {
+			off += copy(xs[off:], buf)
+			return nil
+		})
+	err = p.Run()
+	t.completed.Add(1)
+	s.completed.Add(1)
+	return err
+}
+
+// scanPipeline computes inclusive prefix sums of xs into dst through
+// the streaming pipeline. dst may alias xs: the sink's write offset
+// never passes the source's read offset (chunks are copied out of xs
+// in stream order before they reach the sink).
+func (s *Server) scanPipeline(tenant string, dst, xs []int64) error {
+	t, err := s.admitted(tenant)
+	if err != nil {
+		return err
+	}
+	off := 0
+	p := pipeline.New(pipeline.Config{Opts: s.pipelineOpts()}).
+		FromSlice(xs).
+		RunningSum().
+		ToFunc(func(buf []int64) error {
+			off += copy(dst[off:], buf)
+			return nil
+		})
+	err = p.Run()
+	t.completed.Add(1)
+	s.completed.Add(1)
+	return err
+}
+
+// Sort sorts xs in place. Small inputs batch with other requests;
+// inputs of PipelineCutoff elements or more stream through the
+// pipeline runtime instead so they cannot stall a batch.
+func (s *Server) Sort(tenant string, xs []int64) error {
+	if c := s.cfg.pipelineCutoff(); c > 0 && len(xs) >= c {
+		return s.sortPipeline(tenant, xs)
+	}
+	r := s.getRequest(opSort, tenant, xs)
+	err := s.submit(r)
+	s.putRequest(r)
+	return err
+}
+
+// Select returns the k-th smallest element of xs (0-based) without
+// modifying xs.
+func (s *Server) Select(tenant string, xs []int64, k int) (int64, error) {
+	if k < 0 || k >= len(xs) {
+		return 0, fmt.Errorf("serve: Select rank %d out of range [0,%d)", k, len(xs))
+	}
+	r := s.getRequest(opSelect, tenant, xs)
+	r.k = k
+	err := s.submit(r)
+	out := r.out
+	s.putRequest(r)
+	if err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// Histogram counts bucket(x) occurrences over xs into hist (fully
+// overwritten; len(hist) is the bucket count). bucket must return
+// values in [0, len(hist)).
+func (s *Server) Histogram(tenant string, hist []int, xs []int64, bucket func(int64) int) error {
+	if bucket == nil {
+		return fmt.Errorf("serve: Histogram with nil bucket function")
+	}
+	r := s.getRequest(opHistogram, tenant, xs)
+	r.hist = hist
+	r.bucket = bucket
+	err := s.submit(r)
+	s.putRequest(r)
+	return err
+}
+
+// Scan writes inclusive prefix sums of xs into dst (len(dst) must
+// equal len(xs); dst may alias xs). Long scans stream through the
+// pipeline runtime.
+func (s *Server) Scan(tenant string, dst, xs []int64) error {
+	if len(dst) != len(xs) {
+		return fmt.Errorf("serve: Scan dst length %d != input length %d", len(dst), len(xs))
+	}
+	if c := s.cfg.pipelineCutoff(); c > 0 && len(xs) >= c {
+		return s.scanPipeline(tenant, dst, xs)
+	}
+	r := s.getRequest(opScan, tenant, xs)
+	r.dst = dst
+	err := s.submit(r)
+	s.putRequest(r)
+	return err
+}
+
+// Sum returns the sum of xs.
+func (s *Server) Sum(tenant string, xs []int64) (int64, error) {
+	r := s.getRequest(opSum, tenant, xs)
+	err := s.submit(r)
+	out := r.out
+	s.putRequest(r)
+	if err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// BFS returns hop distances from src in g (-1 when unreachable).
+func (s *Server) BFS(tenant string, g *graph.Graph, src int) ([]int32, error) {
+	if g == nil || src < 0 || src >= g.N() {
+		return nil, fmt.Errorf("serve: BFS source %d out of range", src)
+	}
+	r := s.getRequest(opBFS, tenant, nil)
+	r.g = g
+	r.src = src
+	err := s.submit(r)
+	dist := r.dist
+	s.putRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	return dist, nil
+}

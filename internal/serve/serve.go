@@ -1,0 +1,513 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/exec"
+	"repro/internal/par"
+	"repro/internal/scratch"
+)
+
+// Admission errors. Both are sentinel values: callers retry (or back
+// off) on ErrRejected and give up on ErrClosed.
+var (
+	// ErrClosed reports a request submitted after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrRejected reports admission-control backpressure: the tenant's
+	// queue is full (its bound halves while the executor is saturated),
+	// and the request was not enqueued. The caller owns the retry
+	// policy; the server never blocks admission on a full queue.
+	ErrRejected = errors.New("serve: request rejected (tenant queue full)")
+)
+
+// siteBatch is the adaptive call site of the fused batch loop: the
+// controller learns how to chunk and schedule requests-per-slot per
+// batch-size class, exactly as it does for element loops inside
+// kernels.
+var siteBatch = adapt.NewSite("serve.batch", adapt.KindRange)
+
+// Config shapes a Server. The zero value serves on the process-wide
+// executor and scratch pool with batching and admission control at
+// their defaults and no adaptive tuning.
+type Config struct {
+	// Executor is the worker pool batches dispatch onto and the
+	// occupancy gauge admission control reads; nil means the shared
+	// process-wide exec.Default().
+	Executor *exec.Executor
+	// Scratch is the pool request temporaries draw from; nil means
+	// the process-wide scratch.Default(), scratch.Off disables reuse.
+	Scratch *scratch.Pool
+	// Adaptive, when non-nil, runs the fused batch loop under the
+	// online tuning runtime (site "serve.batch").
+	Adaptive *adapt.Controller
+	// Workers is the parallelism of one batch — how many requests
+	// execute concurrently inside the fused fork/join; <= 0 means the
+	// executor's worker count.
+	Workers int
+	// MaxBatch bounds how many requests one batch fuses; <= 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// BatchWindow bounds how long the dispatcher lets a batch
+	// accumulate after the first request arrives. The window closes
+	// early as soon as arrivals plateau, so it costs nothing when no
+	// more traffic is coming. 0 means DefaultBatchWindow; negative
+	// disables accumulation (every batch is whatever is queued).
+	BatchWindow time.Duration
+	// MaxQueue bounds each tenant's admission queue; <= 0 means
+	// DefaultMaxQueue. The effective bound halves while the executor
+	// is saturated (see Saturation).
+	MaxQueue int
+	// MaxTenants bounds how many distinct tenant accounting entries
+	// the server keeps (<= 0 means DefaultMaxTenants): tenant names
+	// are caller-controlled, and a long-lived server must not grow
+	// memory with their cardinality. Names arriving after the bound
+	// is reached share one overflow entry, OverflowTenant — they are
+	// still served, but pool their queue bound and fair-share turn.
+	MaxTenants int
+	// PipelineCutoff is the input length at or above which a request
+	// bypasses batching and routes through the streaming pipeline
+	// runtime; <= 0 means DefaultPipelineCutoff, negative disables
+	// routing.
+	PipelineCutoff int
+	// HighLoad is the executor occupancy above which batch worker
+	// counts are shed proportionally; <= 0 means DefaultHighLoad.
+	HighLoad float64
+	// Saturation is the executor occupancy at or above which batches
+	// are shed to serial execution and admission bounds tighten;
+	// <= 0 means DefaultSaturation.
+	Saturation float64
+}
+
+// Defaults for the Config knobs.
+const (
+	DefaultMaxBatch       = 64
+	DefaultBatchWindow    = 100 * time.Microsecond
+	DefaultMaxQueue       = 256
+	DefaultMaxTenants     = 1024
+	DefaultPipelineCutoff = 1 << 17
+	DefaultHighLoad       = 0.75
+	DefaultSaturation     = 0.95
+)
+
+// OverflowTenant is the shared accounting entry that absorbs requests
+// from tenant names seen after MaxTenants distinct names exist.
+const OverflowTenant = "(other)"
+
+func (c Config) executor() *exec.Executor {
+	if c.Executor != nil {
+		return c.Executor
+	}
+	return exec.Default()
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+func (c Config) window() time.Duration {
+	if c.BatchWindow < 0 {
+		return 0
+	}
+	if c.BatchWindow == 0 {
+		return DefaultBatchWindow
+	}
+	return c.BatchWindow
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return DefaultMaxQueue
+}
+
+func (c Config) maxTenants() int {
+	if c.MaxTenants > 0 {
+		return c.MaxTenants
+	}
+	return DefaultMaxTenants
+}
+
+func (c Config) pipelineCutoff() int {
+	if c.PipelineCutoff > 0 {
+		return c.PipelineCutoff
+	}
+	if c.PipelineCutoff < 0 {
+		return 0 // disabled
+	}
+	return DefaultPipelineCutoff
+}
+
+func (c Config) highLoad() float64 {
+	if c.HighLoad > 0 {
+		return c.HighLoad
+	}
+	return DefaultHighLoad
+}
+
+func (c Config) saturation() float64 {
+	if c.Saturation > 0 {
+		return c.Saturation
+	}
+	return DefaultSaturation
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return c.executor().Procs()
+}
+
+// tenant is one admission queue plus its accounting. Queue links are
+// intrusive through request.next; all fields except the counters are
+// guarded by the server mutex.
+type tenant struct {
+	name       string
+	head, tail *request
+	qlen       int
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	completed  atomic.Int64
+}
+
+// Stats is a snapshot of a server's admission and batching counters.
+type Stats struct {
+	// Tenants is the number of distinct tenant names seen.
+	Tenants int
+	// Accepted counts requests admitted to a queue (or routed to the
+	// pipeline); Rejected counts admission-control refusals.
+	Accepted, Rejected int64
+	// Completed counts requests whose execution finished (including
+	// ones that finished with an error).
+	Completed int64
+	// Batches counts fused batches executed; BatchedRequests is the
+	// total requests they carried, so BatchedRequests/Batches is the
+	// mean fusion factor. MaxBatch is the largest single batch.
+	Batches, BatchedRequests int64
+	MaxBatch                 int64
+	// ParallelBatches ran as one fused fork/join; SerialBatches ran
+	// request-by-request on the dispatcher (singletons, or shed).
+	ParallelBatches, SerialBatches int64
+	// Shed counts batches forced serial by executor saturation, and
+	// Degraded counts batches that ran parallel with proportionally
+	// reduced workers under elevated load.
+	Shed, Degraded int64
+	// Pipelined counts long requests routed through the streaming
+	// pipeline runtime instead of the batch path.
+	Pipelined int64
+}
+
+// TenantStats is one tenant's share of the admission counters,
+// reported by Server.TenantStats in name order.
+type TenantStats struct {
+	Name                          string
+	Accepted, Rejected, Completed int64
+}
+
+// Server is the multi-tenant request-serving runtime. Create one with
+// New, submit requests with the typed methods (Sort, Select,
+// Histogram, Scan, Sum, BFS) from any number of goroutines, and Close
+// it when done. See the package comment for the admission, batching
+// and fairness semantics.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes the dispatcher when work arrives
+	tenants map[string]*tenant
+	active  []*tenant // tenants with a non-empty queue, round-robin order
+	rr      int       // next active index the batch former pops from
+	queued  int
+	closed  bool
+	drained chan struct{} // closed when the dispatcher exits
+
+	reqPool sync.Pool
+
+	accepted        atomic.Int64
+	rejected        atomic.Int64
+	completed       atomic.Int64
+	batches         atomic.Int64
+	batchedReqs     atomic.Int64
+	maxBatch        atomic.Int64
+	parallelBatches atomic.Int64
+	serialBatches   atomic.Int64
+	shed            atomic.Int64
+	degraded        atomic.Int64
+	pipelined       atomic.Int64
+}
+
+// New creates a Server and starts its dispatcher. The dispatcher runs
+// on an executor-accounted goroutine (exec.Executor.Go), not a pooled
+// worker: it blocks on the queues, and pooled workers must not.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		tenants: make(map[string]*tenant),
+		drained: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	cfg.executor().Go(s.dispatch)
+	return s
+}
+
+// Close stops admission, waits for every queued request to finish
+// executing, and returns. Requests admitted before Close complete
+// normally; requests submitted after it fail with ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.drained
+}
+
+// Stats returns a racy snapshot of the server's counters — gauges for
+// dashboards and tests, not a linearizable accounting.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.tenants)
+	s.mu.Unlock()
+	return Stats{
+		Tenants:         n,
+		Accepted:        s.accepted.Load(),
+		Rejected:        s.rejected.Load(),
+		Completed:       s.completed.Load(),
+		Batches:         s.batches.Load(),
+		BatchedRequests: s.batchedReqs.Load(),
+		MaxBatch:        s.maxBatch.Load(),
+		ParallelBatches: s.parallelBatches.Load(),
+		SerialBatches:   s.serialBatches.Load(),
+		Shed:            s.shed.Load(),
+		Degraded:        s.degraded.Load(),
+		Pipelined:       s.pipelined.Load(),
+	}
+}
+
+// TenantStats returns per-tenant admission counters in name order.
+func (s *Server) TenantStats() []TenantStats {
+	s.mu.Lock()
+	out := make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, TenantStats{
+			Name:      t.name,
+			Accepted:  t.accepted.Load(),
+			Rejected:  t.rejected.Load(),
+			Completed: t.completed.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// tenantLocked returns (creating on first sight) the named tenant.
+// Once MaxTenants distinct names exist, new names fold into the
+// shared OverflowTenant entry so caller-controlled name cardinality
+// cannot grow server memory without bound.
+func (s *Server) tenantLocked(name string) *tenant {
+	t := s.tenants[name]
+	if t != nil {
+		return t
+	}
+	if len(s.tenants) >= s.cfg.maxTenants() {
+		name = OverflowTenant
+		if t = s.tenants[name]; t != nil {
+			return t
+		}
+	}
+	t = &tenant{name: name}
+	s.tenants[name] = t
+	return t
+}
+
+// submit runs one request through admission and waits for its
+// execution. The caller still owns r afterwards: it reads any result
+// fields and then returns r to the pool (results live in the pooled
+// struct, so releasing here would race the read).
+func (s *Server) submit(r *request) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	t := s.tenantLocked(r.tenantName)
+	bound := s.cfg.maxQueue()
+	if s.cfg.executor().Occupancy() >= s.cfg.saturation() {
+		// Backpressure rises with saturation: a busy executor halves
+		// every tenant's queue bound, so rejection starts before the
+		// backlog (and its latency) doubles.
+		bound = max(1, bound/2)
+	}
+	if t.qlen >= bound {
+		s.mu.Unlock()
+		t.rejected.Add(1)
+		s.rejected.Add(1)
+		return ErrRejected
+	}
+	r.t = t
+	r.next = nil
+	if t.tail == nil {
+		t.head = r
+		s.active = append(s.active, t) // empty -> non-empty: join the ring
+	} else {
+		t.tail.next = r
+	}
+	t.tail = r
+	t.qlen++
+	s.queued++
+	t.accepted.Add(1)
+	s.accepted.Add(1)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	<-r.done
+	return r.err
+}
+
+// popLocked removes and returns the head request of the active tenant
+// at index ti, unlinking the tenant from the ring when its queue
+// empties (reported so the ring walk knows whether the index now
+// names the next tenant).
+func (s *Server) popLocked(ti int) (r *request, emptied bool) {
+	t := s.active[ti]
+	r = t.head
+	t.head = r.next
+	if t.head == nil {
+		t.tail = nil
+		s.active = append(s.active[:ti], s.active[ti+1:]...)
+		emptied = true
+	}
+	r.next = nil
+	t.qlen--
+	s.queued--
+	return r, emptied
+}
+
+// formBatchLocked pops up to maxBatch requests, one per tenant per
+// round-robin turn, starting where the previous batch left off. This
+// is the fair-share mechanism: a tenant with one queued request is
+// served within one turn of the ring no matter how deep any other
+// tenant's backlog is.
+func (s *Server) formBatchLocked(batch []*request) []*request {
+	maxBatch := s.cfg.maxBatch()
+	for len(batch) < maxBatch && len(s.active) > 0 {
+		if s.rr >= len(s.active) {
+			s.rr = 0
+		}
+		r, emptied := s.popLocked(s.rr)
+		batch = append(batch, r)
+		if !emptied {
+			s.rr++ // tenant still queued: move past it this round
+		}
+	}
+	return batch
+}
+
+// awaitWindow lets a batch accumulate: it returns once the queue
+// reaches a full batch, arrivals plateau (a scheduling round added
+// nothing, so no producer is ready to enqueue), or the window
+// expires. On a single-P runtime the Gosched loop runs every ready
+// producer before re-reading the queue, which makes the plateau check
+// exact there and merely conservative elsewhere.
+func (s *Server) awaitWindow() {
+	window := s.cfg.window()
+	if window == 0 {
+		return
+	}
+	deadline := time.Now().Add(window)
+	prev := -1
+	for {
+		s.mu.Lock()
+		q, closed := s.queued, s.closed
+		s.mu.Unlock()
+		if closed || q >= s.cfg.maxBatch() || q == prev || time.Now().After(deadline) {
+			return
+		}
+		prev = q
+		runtime.Gosched()
+	}
+}
+
+// dispatch is the batch-forming loop. One dispatcher per server: batch
+// formation is serial (it is cheap — pointer pops under one mutex),
+// execution is where the parallelism is.
+func (s *Server) dispatch() {
+	defer close(s.drained)
+	batch := make([]*request, 0, s.cfg.maxBatch())
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queued == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.awaitWindow()
+		s.mu.Lock()
+		batch = s.formBatchLocked(batch[:0])
+		s.mu.Unlock()
+		if len(batch) > 0 {
+			s.execute(batch)
+		}
+	}
+}
+
+// execute runs one batch under the admission ladder: fused parallel
+// loop when the executor has headroom, proportionally fewer workers
+// under elevated load, serial on the dispatcher at saturation.
+func (s *Server) execute(batch []*request) {
+	n := len(batch)
+	s.batches.Add(1)
+	s.batchedReqs.Add(int64(n))
+	for {
+		cur := s.maxBatch.Load()
+		if int64(n) <= cur || s.maxBatch.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	load := s.cfg.executor().Occupancy()
+	workers := s.cfg.workers()
+	if load >= s.cfg.saturation() {
+		s.shed.Add(1)
+		workers = 1
+	} else if load >= s.cfg.highLoad() {
+		s.degraded.Add(1)
+		if scaled := int(float64(workers)*(1-load) + 0.5); scaled < workers {
+			workers = max(1, scaled)
+		}
+	}
+	if n == 1 || workers == 1 {
+		s.serialBatches.Add(1)
+		for _, r := range batch {
+			s.runOne(r)
+		}
+		return
+	}
+	s.parallelBatches.Add(1)
+	opts := par.Options{
+		Procs:        workers,
+		Policy:       par.Dynamic, // request costs are skewed; balance them
+		Grain:        1,
+		SerialCutoff: 1,
+		Executor:     s.cfg.Executor,
+		Scratch:      s.cfg.Scratch,
+		Adaptive:     s.cfg.Adaptive,
+		Site:         siteBatch,
+	}
+	par.For(n, opts, func(i int) { s.runOne(batch[i]) })
+}

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/pgraph"
+	"repro/internal/rng"
+)
+
+// randInts returns n pseudo-random keys from seed.
+func randInts(n int, seed uint64) []int64 {
+	r := rng.New(seed)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(r.Uint64()%200003) - 100001
+	}
+	return xs
+}
+
+func sortedOracle(xs []int64) []int64 {
+	want := append([]int64(nil), xs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	return want
+}
+
+// TestServeMixedConcurrent drives every request type from concurrent
+// tenants and checks each result against a sequential oracle.
+func TestServeMixedConcurrent(t *testing.T) {
+	e := exec.New(4)
+	defer e.Close()
+	s := New(Config{Executor: e, Workers: 4})
+	defer s.Close()
+
+	g := gen.ErdosRenyi(300, 4, false, 7)
+	wantDist := pgraph.BFS(g, 0, par.Options{Procs: 1})
+
+	const tenants = 4
+	const reqs = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*reqs)
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			name := string(rune('a' + tn))
+			for i := 0; i < reqs; i++ {
+				seed := uint64(tn*1000 + i)
+				n := 100 + int(seed%3000)
+				xs := randInts(n, seed)
+				switch i % 6 {
+				case 0:
+					want := sortedOracle(xs)
+					if err := s.Sort(name, xs); err != nil {
+						errs <- err
+						continue
+					}
+					for j := range want {
+						if xs[j] != want[j] {
+							t.Errorf("sort mismatch at %d", j)
+							break
+						}
+					}
+				case 1:
+					k := int(seed) % n
+					got, err := s.Select(name, xs, k)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if want := sortedOracle(xs)[k]; got != want {
+						t.Errorf("select(%d) = %d, want %d", k, got, want)
+					}
+				case 2:
+					hist := make([]int, 64)
+					bucket := func(v int64) int { return int(uint64(v) % 64) }
+					if err := s.Histogram(name, hist, xs, bucket); err != nil {
+						errs <- err
+						continue
+					}
+					want := make([]int, 64)
+					for _, v := range xs {
+						want[bucket(v)]++
+					}
+					for j := range want {
+						if hist[j] != want[j] {
+							t.Errorf("hist[%d] = %d, want %d", j, hist[j], want[j])
+							break
+						}
+					}
+				case 3:
+					dst := make([]int64, n)
+					if err := s.Scan(name, dst, xs); err != nil {
+						errs <- err
+						continue
+					}
+					var run int64
+					for j, v := range xs {
+						run += v
+						if dst[j] != run {
+							t.Errorf("scan[%d] = %d, want %d", j, dst[j], run)
+							break
+						}
+					}
+				case 4:
+					got, err := s.Sum(name, xs)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					var want int64
+					for _, v := range xs {
+						want += v
+					}
+					if got != want {
+						t.Errorf("sum = %d, want %d", got, want)
+					}
+				case 5:
+					dist, err := s.BFS(name, g, 0)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					for j := range wantDist {
+						if dist[j] != wantDist[j] {
+							t.Errorf("bfs dist[%d] = %d, want %d", j, dist[j], wantDist[j])
+							break
+						}
+					}
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("request failed: %v", err)
+	}
+
+	st := s.Stats()
+	if st.Accepted != tenants*reqs || st.Completed != tenants*reqs {
+		t.Fatalf("accepted=%d completed=%d, want %d", st.Accepted, st.Completed, tenants*reqs)
+	}
+	if st.Tenants != tenants {
+		t.Fatalf("tenants = %d, want %d", st.Tenants, tenants)
+	}
+	if st.Batches == 0 || st.BatchedRequests != st.Accepted {
+		t.Fatalf("batches=%d batched=%d accepted=%d", st.Batches, st.BatchedRequests, st.Accepted)
+	}
+}
+
+// TestServeBatchCoalescing checks that concurrent small requests
+// actually fuse: with many sync clients against one dispatcher, some
+// batch must carry more than one request.
+func TestServeBatchCoalescing(t *testing.T) {
+	e := exec.New(4)
+	defer e.Close()
+	s := New(Config{Executor: e, Workers: 4, BatchWindow: 2 * time.Millisecond})
+	defer s.Close()
+
+	const clients = 8
+	const each = 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			xs := randInts(512, uint64(c))
+			for i := 0; i < each; i++ {
+				if _, err := s.Sum("t", xs); err != nil {
+					t.Errorf("sum: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.MaxBatch < 2 {
+		t.Fatalf("no coalescing: maxBatch = %d over %d batches", st.MaxBatch, st.Batches)
+	}
+	if st.Batches >= st.BatchedRequests {
+		t.Fatalf("batches=%d >= requests=%d: nothing fused", st.Batches, st.BatchedRequests)
+	}
+}
+
+// TestServeFairShare floods one tenant against a tiny queue bound and
+// checks the light tenant is never starved or rejected: round-robin
+// batch formation plus per-tenant queues isolate it completely.
+func TestServeFairShare(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	s := New(Config{Executor: e, Workers: 2, MaxQueue: 2, MaxBatch: 4})
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var hotRejected atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			xs := randInts(4096, uint64(c))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Sort("hot", xs); errors.Is(err, ErrRejected) {
+					hotRejected.Add(1)
+				} else if err != nil {
+					t.Errorf("hot: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	xs := randInts(2048, 99)
+	for i := 0; i < 30; i++ {
+		hist := make([]int, 16)
+		if err := s.Histogram("light", hist, xs, func(v int64) int { return int(uint64(v) % 16) }); err != nil {
+			t.Fatalf("light request %d failed under hot-tenant flood: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, ts := range s.TenantStats() {
+		if ts.Name == "light" && ts.Rejected != 0 {
+			t.Fatalf("light tenant saw %d rejections", ts.Rejected)
+		}
+	}
+	if hotRejected.Load() == 0 {
+		t.Log("note: hot tenant saw no backpressure this run (timing-dependent)")
+	}
+}
+
+// TestServeBackpressure fills a one-slot queue from many goroutines
+// and checks the overflow is rejected with ErrRejected while every
+// admitted request still completes correctly.
+func TestServeBackpressure(t *testing.T) {
+	e := exec.New(1)
+	defer e.Close()
+	s := New(Config{Executor: e, MaxQueue: 1, MaxBatch: 1, BatchWindow: -1})
+	defer s.Close()
+
+	const clients = 16
+	var rejected, completed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			xs := randInts(2048, uint64(c))
+			for i := 0; i < 20; i++ {
+				want := sortedOracle(xs)
+				err := s.Sort("t", xs)
+				switch {
+				case errors.Is(err, ErrRejected):
+					rejected.Add(1)
+				case err != nil:
+					t.Errorf("sort: %v", err)
+				default:
+					completed.Add(1)
+					for j := range want {
+						if xs[j] != want[j] {
+							t.Errorf("admitted sort corrupted at %d", j)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if completed.Load() == 0 {
+		t.Fatal("no request completed")
+	}
+	st := s.Stats()
+	if st.Rejected != rejected.Load() {
+		t.Fatalf("stats.Rejected = %d, callers saw %d", st.Rejected, rejected.Load())
+	}
+}
+
+// TestServeShedUnderSaturation parks blocking tasks on every pooled
+// worker so Occupancy reads 1.0, then checks batches shed to serial
+// execution (and still compute correct results).
+func TestServeShedUnderSaturation(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	release := make(chan struct{})
+	e.Submit(func() { <-release })
+	e.Submit(func() { <-release })
+	for i := 0; e.Occupancy() < 1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Occupancy() < 1 {
+		close(release)
+		t.Skip("could not saturate the pool")
+	}
+
+	s := New(Config{Executor: e, Workers: 2})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			xs := randInts(1024, uint64(c))
+			want := sortedOracle(xs)
+			if err := s.Sort("t", xs); err != nil {
+				t.Errorf("sort under saturation: %v", err)
+				return
+			}
+			for j := range want {
+				if xs[j] != want[j] {
+					t.Errorf("shed sort mismatch at %d", j)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Shed == 0 {
+		t.Fatalf("no batch shed at occupancy 1.0: %+v", st)
+	}
+	if st.ParallelBatches != 0 {
+		t.Fatalf("parallel batches ran on a saturated pool: %+v", st)
+	}
+	close(release)
+	s.Close()
+}
+
+// TestServePipelineRoute checks long requests bypass the batch path
+// through the streaming pipeline, including the aliased-scan case.
+func TestServePipelineRoute(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	s := New(Config{Executor: e, PipelineCutoff: 4096})
+	defer s.Close()
+
+	xs := randInts(20000, 5)
+	want := sortedOracle(xs)
+	if err := s.Sort("t", xs); err != nil {
+		t.Fatalf("pipelined sort: %v", err)
+	}
+	for j := range want {
+		if xs[j] != want[j] {
+			t.Fatalf("pipelined sort mismatch at %d", j)
+		}
+	}
+
+	ys := randInts(20000, 6)
+	wantScan := make([]int64, len(ys))
+	var run int64
+	for j, v := range ys {
+		run += v
+		wantScan[j] = run
+	}
+	if err := s.Scan("t", ys, ys); err != nil { // dst aliases xs
+		t.Fatalf("pipelined scan: %v", err)
+	}
+	for j := range wantScan {
+		if ys[j] != wantScan[j] {
+			t.Fatalf("aliased pipelined scan mismatch at %d", j)
+		}
+	}
+
+	st := s.Stats()
+	if st.Pipelined != 2 {
+		t.Fatalf("pipelined = %d, want 2", st.Pipelined)
+	}
+	if st.BatchedRequests != 0 {
+		t.Fatalf("long requests leaked onto the batch path: %+v", st)
+	}
+	if st.Completed != 2 || st.Accepted != 2 {
+		t.Fatalf("accepted=%d completed=%d, want 2", st.Accepted, st.Completed)
+	}
+}
+
+// TestServeClose checks drain-then-reject semantics.
+func TestServeClose(t *testing.T) {
+	e := exec.New(2)
+	defer e.Close()
+	s := New(Config{Executor: e})
+	xs := randInts(1000, 1)
+	if _, err := s.Sum("t", xs); err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Sort("t", xs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sort after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Select("t", xs, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Select after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Sort("t", make([]int64, 1<<18)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pipelined Sort after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestServeValidation checks malformed requests fail fast, before
+// admission.
+func TestServeValidation(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	xs := []int64{3, 1, 2}
+	if _, err := s.Select("t", xs, 3); err == nil {
+		t.Fatal("Select rank out of range accepted")
+	}
+	if _, err := s.Select("t", xs, -1); err == nil {
+		t.Fatal("Select negative rank accepted")
+	}
+	if err := s.Histogram("t", make([]int, 4), xs, nil); err == nil {
+		t.Fatal("Histogram nil bucket accepted")
+	}
+	if err := s.Scan("t", make([]int64, 2), xs); err == nil {
+		t.Fatal("Scan length mismatch accepted")
+	}
+	if _, err := s.BFS("t", nil, 0); err == nil {
+		t.Fatal("BFS nil graph accepted")
+	}
+	if st := s.Stats(); st.Accepted != 0 {
+		t.Fatalf("invalid requests were admitted: %+v", st)
+	}
+}
+
+// TestServePanicConfined checks a panicking kernel (bucket function
+// out of range) surfaces as that request's error, not a crash, and
+// the server keeps serving.
+func TestServePanicConfined(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	xs := randInts(5000, 2)
+	err := s.Histogram("t", make([]int, 4), xs, func(v int64) int { return 1 << 30 })
+	if err == nil {
+		t.Fatal("out-of-range bucket function did not error")
+	}
+	// Server still healthy afterwards.
+	if _, err := s.Sum("t", xs); err != nil {
+		t.Fatalf("sum after confined panic: %v", err)
+	}
+}
+
+// TestServeTenantBound checks tenant accounting stays bounded under
+// caller-controlled name cardinality: names beyond MaxTenants fold
+// into the shared overflow entry and are still served.
+func TestServeTenantBound(t *testing.T) {
+	s := New(Config{MaxTenants: 2})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		name := string(rune('a' + i))
+		if _, err := s.Sum(name, []int64{int64(i), 1}); err != nil {
+			t.Fatalf("sum from tenant %q: %v", name, err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 10 {
+		t.Fatalf("completed = %d, want 10", st.Completed)
+	}
+	if st.Tenants > 3 { // 2 named + the overflow entry
+		t.Fatalf("tenant map grew to %d entries with MaxTenants=2", st.Tenants)
+	}
+	found := false
+	for _, ts := range s.TenantStats() {
+		if ts.Name == OverflowTenant && ts.Completed == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overflow tenant missing or miscounted: %+v", s.TenantStats())
+	}
+}

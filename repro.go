@@ -31,6 +31,7 @@ import (
 	"repro/internal/pstencil"
 	"repro/internal/scratch"
 	"repro/internal/seq"
+	"repro/internal/serve"
 )
 
 // Re-exported types. Aliases keep the facade zero-cost: values flow to
@@ -91,6 +92,35 @@ type (
 	// PipelineStats is a snapshot of a pipeline's per-stage counters,
 	// wall time, throughput and sampled executor occupancy.
 	PipelineStats = pipeline.Stats
+	// Server is the multi-tenant request-serving runtime: it coalesces
+	// concurrent small requests into fused batched kernel invocations
+	// (one pooled fork/join per batch instead of one per request),
+	// applies occupancy-driven admission control (queue, shed to
+	// serial, reject with backpressure), and forms batches round-robin
+	// across tenants so a hot tenant cannot starve the rest. Build one
+	// with NewServer.
+	Server = serve.Server
+	// ServerConfig shapes a Server (worker count, batch bounds and
+	// window, per-tenant queue bound, load thresholds, pipeline
+	// cutoff, and the executor/scratch/adaptive runtimes it serves
+	// on).
+	ServerConfig = serve.Config
+	// ServerStats is a snapshot of a server's admission and batching
+	// counters.
+	ServerStats = serve.Stats
+	// ServerTenantStats is one tenant's accepted/rejected/completed
+	// share of a server's counters.
+	ServerTenantStats = serve.TenantStats
+)
+
+// Admission-control errors returned by Server request methods.
+var (
+	// ErrServerClosed reports a request submitted after Server.Close.
+	ErrServerClosed = serve.ErrClosed
+	// ErrRequestRejected reports admission backpressure: the tenant's
+	// bounded queue is full (the bound tightens while the executor is
+	// saturated) and the request was not enqueued.
+	ErrRequestRejected = serve.ErrRejected
 )
 
 // Scheduling policies.
@@ -162,6 +192,21 @@ func DefaultAdaptiveStats() AdaptiveStats { return adapt.Default().Stats() }
 // using the process-wide executor and scratch pool; set
 // PipelineConfig.Opts for dedicated pools or adaptive tuning.
 func NewPipeline(cfg PipelineConfig) *Pipeline { return pipeline.New(cfg) }
+
+// NewServer creates a request-serving runtime and starts its batch
+// dispatcher; Close it when done. Requests are submitted with the
+// typed methods from any number of goroutines:
+//
+//	srv := repro.NewServer(repro.ServerConfig{})
+//	defer srv.Close()
+//	if err := srv.Sort("tenant-a", xs); err != nil { ... }
+//	med, err := srv.Select("tenant-b", ys, len(ys)/2)
+//
+// The zero ServerConfig serves on the process-wide executor and
+// scratch pool with default batching and admission bounds; see
+// internal/serve for the admission ladder and fairness semantics, and
+// `parbench -serve` for a multi-tenant traffic demo.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 
 // For executes body(i) for i in [0, n) in parallel.
 func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -97,7 +98,7 @@ func TestFacadeMatMulJacobi(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 22 || ids[0] != "E1" {
+	if len(ids) != 23 || ids[0] != "E1" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	var buf bytes.Buffer
@@ -178,4 +179,81 @@ func TestFacadePipeline(t *testing.T) {
 	if s.SourceElems != 20000 || s.Throughput() <= 0 {
 		t.Errorf("stats = %+v, want 20000 source elems and positive throughput", s)
 	}
+}
+
+// The Example functions below double as the package's godoc snippets:
+// `go test` compiles and runs them, so the documented usage of each
+// runtime layer (executor, scratch, adaptive tuning, pipeline, server)
+// can never drift from the real API.
+
+// ExampleNewExecutor pins a dedicated worker pool, isolating one
+// workload's parallelism from the process-wide executor.
+func ExampleNewExecutor() {
+	e := NewExecutor(4)
+	defer e.Close()
+	xs := RandomInts(1<<15, 1)
+	Sort(xs, Options{Executor: e})
+	fmt.Println(sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }), e.Procs())
+	// Output: true 4
+}
+
+// ExampleNewScratchPool pins a dedicated scratch pool; after the
+// kernels return, every pooled temporary has been released (live
+// bytes drop to zero) and stays cached for the next call.
+func ExampleNewScratchPool() {
+	pool := NewScratchPool()
+	xs := RandomInts(1<<14, 2)
+	Sort(xs, Options{Procs: 4, Scratch: pool})
+	st := pool.Stats()
+	fmt.Println(st.BytesLive, st.BytesPooled > 0)
+	// Output: 0 true
+}
+
+// ExampleAdaptive runs a kernel under the online tuning runtime
+// instead of hand-picking grain/policy/cutoff values.
+func ExampleAdaptive() {
+	opts := Adaptive()
+	opts.Procs = 4 // parallelism to tune over, even on a 1-CPU runner
+	xs := RandomInts(1<<14, 3)
+	buf := make([]int64, len(xs))
+	for round := 0; round < 4; round++ {
+		copy(buf, xs)
+		Sort(buf, opts) // first calls explore, later calls exploit
+	}
+	st := DefaultAdaptiveStats()
+	fmt.Println(st.Decisions > 0, sort.SliceIsSorted(buf, func(i, j int) bool { return buf[i] < buf[j] }))
+	// Output: true true
+}
+
+// ExampleNewPipeline streams a generated sequence through fused
+// transform stages without materializing arrays between kernels.
+func ExampleNewPipeline() {
+	var smallest []int64
+	p := NewPipeline(PipelineConfig{}).
+		FromFunc(1000, func(i int) int64 { return int64(1000 - i) }).
+		Filter(func(v int64) bool { return v%2 == 0 }).
+		TopK(3).
+		To(&smallest)
+	if err := p.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(smallest)
+	// Output: [2 4 6]
+}
+
+// ExampleNewServer serves typed requests from multiple tenants
+// through the batched admission-control runtime.
+func ExampleNewServer() {
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	xs := []int64{5, 3, 1, 4, 2}
+	if err := srv.Sort("tenant-a", xs); err != nil {
+		panic(err)
+	}
+	median, err := srv.Select("tenant-b", []int64{9, 7, 8, 6, 5}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(xs, median, srv.Stats().Completed)
+	// Output: [1 2 3 4 5] 7 2
 }

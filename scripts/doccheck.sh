@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Doc-health gate (CI): every package must carry a package comment (a
+# doc comment immediately above its package clause in at least one
+# non-test file — internal packages keep theirs in doc.go), and the
+# tree must be gofmt-clean. Run from anywhere; exits non-zero listing
+# every violation rather than stopping at the first.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	ok=0
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		# A package comment is a // line directly above the package
+		# clause that is not a build constraint.
+		if awk 'prev ~ /^\/\// && prev !~ /^\/\/go:build/ && $0 ~ /^package / {found=1} {prev=$0} END {exit !found}' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" = 0 ]; then
+		echo "doccheck: package at $dir has no package comment" >&2
+		fail=1
+	fi
+done
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "doccheck: not gofmt-clean:" >&2
+	echo "$unformatted" >&2
+	fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+	echo "doccheck: all packages documented, tree gofmt-clean"
+fi
+exit "$fail"
