@@ -74,11 +74,19 @@ func main() {
 			"run the streaming-pipeline traffic demo (gen→map→filter→sort→histogram) and print its throughput/occupancy stats instead of experiments")
 		serveMode = flag.Bool("serve", false,
 			"run the multi-tenant request-serving traffic demo (batched admission control over mixed sort/histogram/scan/sum requests) and print its throughput/latency-percentile stats instead of experiments")
+		shardsFlag = flag.Int("shards", 0,
+			"with -serve: shard the server into N executor shards with tenant-affinity routing and diffusive migration, and print per-shard stats (0 = unsharded; sharded mode builds its own per-shard executors, so -executor is ignored)")
 	)
 	flag.Parse()
 
 	if *pipelineMode && *serveMode {
 		fatalf("-pipeline and -serve are mutually exclusive")
+	}
+	if *shardsFlag < 0 {
+		fatalf("bad -shards %d: want >= 0", *shardsFlag)
+	}
+	if *shardsFlag > 0 && !*serveMode {
+		fatalf("-shards requires -serve")
 	}
 
 	if *list {
@@ -116,7 +124,7 @@ func main() {
 	}
 
 	if *serveMode {
-		if err := runServeDemo(cfg, os.Stdout); err != nil {
+		if err := runServeDemo(cfg, *shardsFlag, os.Stdout); err != nil {
 			fatalf("serve: %v", err)
 		}
 		printRuntimeStats(cfg)
@@ -195,15 +203,30 @@ func runPipelineDemo(cfg core.Config, w io.Writer) error {
 	return nil
 }
 
+// serveFront is the request surface the serve demo drives — satisfied
+// by both the single serve.Server and the sharded serve.Sharded, so
+// one traffic loop exercises whichever -shards selected.
+type serveFront interface {
+	Sort(tenant string, xs []int64) error
+	Histogram(tenant string, hist []int, xs []int64, bucket func(int64) int) error
+	Scan(tenant string, dst, xs []int64) error
+	Sum(tenant string, xs []int64) (int64, error)
+	TenantStats() []serve.TenantStats
+}
+
 // runServeDemo drives multi-tenant request traffic — one hot tenant
 // with 8 clients and three light tenants with 2 each, issuing mixed
 // 2K-element sort/histogram/scan/sum requests plus an occasional long
 // sort that routes through the streaming pipeline — through the
 // request-serving runtime, then prints the server's admission/batching
 // counters, client-observed latency percentiles, request throughput,
-// and the per-tenant fair-share split. It honors the -executor,
-// -scratch, -adapt, -procs and -quick flags through cfg.
-func runServeDemo(cfg core.Config, w io.Writer) error {
+// and the per-tenant fair-share split. With shards > 0 the traffic
+// runs through the sharded server instead (tenants hash to home
+// shards, the diffusive balancer migrates the hot tenant's backlog)
+// and a per-shard stats line is printed. It honors the -executor,
+// -scratch, -adapt, -procs and -quick flags through cfg (sharded mode
+// builds one executor per shard, so cfg.Executor is unused there).
+func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
 	workers := 4
 	if len(cfg.Procs) > 0 {
 		workers = cfg.Procs[len(cfg.Procs)-1]
@@ -218,8 +241,33 @@ func runServeDemo(cfg core.Config, w io.Writer) error {
 	if cfg.Adaptive {
 		scfg.Adaptive = adapt.Default()
 	}
-	srv := serve.New(scfg)
-	defer srv.Close()
+	var srv serveFront
+	var single *serve.Server
+	var sharded *serve.Sharded
+	if shards > 0 {
+		procs := workers / shards
+		if procs < 1 {
+			procs = 1
+		}
+		sc := scfg
+		sc.Executor = nil // one executor per shard
+		sc.Scratch = nil  // one scratch pool per shard
+		sc.Adaptive = nil // AdaptivePerShard gives each shard its own
+		sc.Workers = procs
+		sharded = serve.NewSharded(serve.ShardedConfig{
+			Shards:            shards,
+			ShardProcs:        procs,
+			AdaptivePerShard:  cfg.Adaptive,
+			MigrateHysteresis: 2, // small: the demo queues are bounded at 4 per tenant
+			Config:            sc,
+		})
+		srv = sharded
+		defer sharded.Close()
+	} else {
+		single = serve.New(scfg)
+		srv = single
+		defer single.Close()
+	}
 
 	total := 20000
 	if cfg.Quick {
@@ -304,9 +352,16 @@ func runServeDemo(cfg core.Config, w io.Writer) error {
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	st := srv.Stats()
-	fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), W=%d, %d requests\n",
-		workers, total)
+	var st serve.Stats
+	if sharded != nil {
+		st = sharded.Stats().Aggregate
+		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), %d shards × W=%d, %d requests\n",
+			sharded.Shards(), sharded.Executors().Shard(0).Procs(), total)
+	} else {
+		st = single.Stats()
+		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), W=%d, %d requests\n",
+			workers, total)
+	}
 	avg := 0.0
 	if st.Batches > 0 {
 		avg = float64(st.BatchedRequests) / float64(st.Batches)
@@ -315,6 +370,15 @@ func runServeDemo(cfg core.Config, w io.Writer) error {
 		st.Accepted, st.Completed, st.Rejected, retried.Load(),
 		st.Batches, avg, st.MaxBatch, st.ParallelBatches, st.SerialBatches,
 		st.Shed, st.Degraded, st.Pipelined)
+	if sharded != nil {
+		sst := sharded.Stats()
+		fmt.Fprintf(w, "shards: migrations=%d migrated=%d\n", sst.Migrations, sst.Migrated)
+		for i, ss := range sst.PerShard {
+			fmt.Fprintf(w, "shard %d: accepted=%-6d completed=%-6d batches=%-5d migrated in=%-4d out=%-4d occupancy=%.2f\n",
+				i, ss.Accepted, ss.Completed, ss.Batches, ss.MigratedIn, ss.MigratedOut,
+				sharded.Executors().ShardOccupancy(i))
+		}
+	}
 	fmt.Fprintf(w, "latency: p50=%s p95=%s p99=%s | throughput=%.0f req/s over %s\n",
 		perf.FormatDuration(perf.Percentile(all, 50)),
 		perf.FormatDuration(perf.Percentile(all, 95)),

@@ -78,7 +78,7 @@ func TestPipelineDemo(t *testing.T) {
 // lines appear with every request accounted for.
 func TestServeDemo(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -87,6 +87,27 @@ func TestServeDemo(t *testing.T) {
 	}
 	for _, want := range []string{"serve: accepted=", "reqs/batch=", "pipelined=",
 		"latency: p50=", "p95=", "p99=", "req/s", "tenant hot", "tenant t1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeDemoSharded smoke-runs the -serve -shards mode and checks
+// the per-shard stats lines appear alongside the aggregate, with every
+// request accounted for across shards.
+func TestServeDemoSharded(t *testing.T) {
+	var buf strings.Builder
+	if err := runServeDemo(core.Config{Quick: true}, 2, &buf); err != nil {
+		t.Fatalf("runServeDemo: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "completed=2000") {
+		t.Errorf("aggregate line missing completed count:\n%s", out)
+	}
+	for _, want := range []string{"2 shards", "shards: migrations=",
+		"shard 0: accepted=", "shard 1: accepted=", "occupancy=",
+		"latency: p50=", "tenant hot"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -111,7 +132,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 23 {
+	if len(all) != 24 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

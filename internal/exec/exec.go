@@ -2,11 +2,13 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rng"
 	"repro/internal/scratch"
@@ -50,6 +52,12 @@ type Executor struct {
 	steals   atomic.Int64
 	attempts atomic.Int64
 	blocking atomic.Int64 // dedicated goroutines live via Go
+
+	// Smoothed occupancy (OccupancyEWMA): the float64 bits of the
+	// last folded value plus its UnixNano stamp. Reader-updated — the
+	// hot task path never touches them.
+	occEWMA  atomic.Uint64
+	occStamp atomic.Int64
 
 	// Recycled fork/join states (see runState). An explicit free list
 	// rather than a sync.Pool: states are reclaimed on whatever worker
@@ -155,6 +163,43 @@ func (e *Executor) Occupancy() float64 {
 		return 0
 	}
 	return float64(e.running.Load()) / float64(e.procs)
+}
+
+// occTau is the time constant of OccupancyEWMA: load older than a few
+// tau has essentially no weight. A couple of milliseconds spans many
+// request-sized tasks (so momentary gaps between batches do not read
+// as idleness) while still tracking a real load shift quickly.
+const occTau = float64(2 * time.Millisecond)
+
+// occFloor is the quiescence floor: a folded value below it reads as
+// exactly 0, so a parked pool's EWMA is a clean zero predicate instead
+// of an asymptotically decaying residue.
+const occFloor = 1e-3
+
+// OccupancyEWMA returns an exponentially smoothed Occupancy with time
+// constant occTau. It is updated by its readers — each call folds the
+// instantaneous gauge in, weighted by the time since the previous
+// fold — so the task hot path pays nothing for it. Like Occupancy it
+// is a racy gauge: concurrent folds may each land, which only jitters
+// the smoothing, never the steady state. A pool that has been parked
+// for several tau reads exactly 0 (see occFloor). This is the signal
+// the diffusive shard balancer (internal/serve) compares across
+// shards: smoothing gives it hysteresis, so one idle probe between
+// two batches does not look like an idle shard.
+func (e *Executor) OccupancyEWMA() float64 {
+	cur := e.Occupancy()
+	now := time.Now().UnixNano()
+	last := e.occStamp.Swap(now)
+	var w float64
+	if last > 0 && now > last {
+		w = math.Exp(-float64(now-last) / occTau)
+	}
+	next := w*math.Float64frombits(e.occEWMA.Load()) + (1-w)*cur
+	if next < occFloor {
+		next = 0
+	}
+	e.occEWMA.Store(math.Float64bits(next))
+	return next
 }
 
 // start launches the persistent workers (idempotent).

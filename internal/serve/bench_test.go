@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,46 +15,77 @@ import (
 )
 
 // BenchmarkTrafficServe is the request-serving half of the traffic
-// suite: many client goroutines each issuing small mixed requests
-// (sort / histogram / scan / sum, 2K elements each — the shape of an
-// aggregation endpoint), handled either by the batched
-// admission-control server (one fused fork/join per batch, kernels
-// serial inside their slot) or by naive per-request dispatch (every
-// request invokes the parallel kernel directly — how all pre-serve
-// entry points behave). Both modes run at equal worker count on the
-// same dedicated executor and scratch pool, so the delta is purely
-// the request-handling discipline. Expected shape: batched >= 1.5x
-// the naive throughput at ~10x fewer B/op — per-request fork/join,
-// splitter sampling, private-histogram zeroing and scan-partials
-// overheads are paid once per batch instead of once per tiny request,
-// and request-level parallelism replaces oversubscribed kernel-level
-// parallelism.
+// suite: client goroutines each issuing small mixed requests (sort /
+// histogram / scan / sum, 2K elements each — the shape of an
+// aggregation endpoint), swept across client counts of 1x/4x/16x/64x
+// GOMAXPROCS and three handling disciplines:
+//
+//   - naive: every request invokes the parallel kernel directly (how
+//     all pre-serve entry points behave);
+//   - batched: one admission-controlled Server — one fused fork/join
+//     per batch, kernels serial inside their slot;
+//   - sharded: the sharded server — tenants hash across shards, each
+//     with its own executor, queues and dispatcher, diffusive
+//     migration on.
+//
+// All modes run the same total worker count on dedicated executors
+// and scratch pools, so the deltas are purely the request-handling
+// discipline. Expected shape: batched >= 1.5x naive at ~10x fewer
+// B/op (per-request fork/join, splitter sampling and
+// private-histogram zeroing are paid once per batch), and sharded
+// pulls ahead of single-server batched as the client multiple grows
+// — at 16x-64x GOMAXPROCS the single server's submit mutex and lone
+// dispatcher serialize admission, while N shards admit and dispatch
+// in parallel.
 func BenchmarkTrafficServe(b *testing.B) {
-	b.Run("batched", func(b *testing.B) { benchTrafficServe(b, true) })
-	b.Run("naive", func(b *testing.B) { benchTrafficServe(b, false) })
+	for _, mult := range []int{1, 4, 16, 64} {
+		clients := mult * runtime.GOMAXPROCS(0)
+		for _, mode := range []string{"naive", "batched", "sharded"} {
+			b.Run(fmt.Sprintf("clients=%dxP/mode=%s", mult, mode), func(b *testing.B) {
+				benchTrafficServe(b, mode, clients)
+			})
+		}
+	}
 }
 
-// trafficWorkers is the worker count both modes run at.
+// trafficWorkers is the total worker count every mode runs at.
 const trafficWorkers = 4
 
-// benchTrafficServe drives b.N mixed requests from 16 clients.
-func benchTrafficServe(b *testing.B, batched bool) {
-	e := exec.New(trafficWorkers)
-	defer e.Close()
-	sp := scratch.New()
+// trafficShards is the shard count of the sharded mode; workers split
+// evenly so the total stays trafficWorkers.
+const trafficShards = 4
 
+// benchTrafficServe drives b.N mixed requests from the given number
+// of closed-loop clients.
+func benchTrafficServe(b *testing.B, mode string, clients int) {
 	const n = 2 << 10
 	base := randInts(n, 42)
 
-	var s *Server
-	if batched {
-		s = New(Config{Executor: e, Scratch: sp, Workers: trafficWorkers,
+	var (
+		s         *Server
+		g         *Sharded
+		naiveOpts par.Options
+	)
+	switch mode {
+	case "batched":
+		e := exec.New(trafficWorkers)
+		defer e.Close()
+		s = New(Config{Executor: e, Scratch: scratch.New(), Workers: trafficWorkers,
 			BatchWindow: 200 * time.Microsecond})
 		defer s.Close()
+	case "sharded":
+		g = NewSharded(ShardedConfig{
+			Shards:     trafficShards,
+			ShardProcs: trafficWorkers / trafficShards,
+			Config:     Config{BatchWindow: 200 * time.Microsecond},
+		})
+		defer g.Close()
+	default:
+		e := exec.New(trafficWorkers)
+		defer e.Close()
+		naiveOpts = par.Options{Procs: trafficWorkers, Executor: e, Scratch: scratch.New()}
 	}
-	naiveOpts := par.Options{Procs: trafficWorkers, Executor: e, Scratch: sp}
 
-	const clients = 16
 	var next atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -61,7 +94,7 @@ func benchTrafficServe(b *testing.B, batched bool) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			tenant := string(rune('a' + c%4))
+			tenant := string(rune('a' + c%16))
 			xs := make([]int64, n)
 			dst := make([]int64, n)
 			hist := make([]int, 1024)
@@ -75,27 +108,39 @@ func benchTrafficServe(b *testing.B, batched bool) {
 				copy(xs, base)
 				switch i % 4 {
 				case 0:
-					if batched {
+					switch mode {
+					case "batched":
 						_ = s.Sort(tenant, xs)
-					} else {
+					case "sharded":
+						_ = g.Sort(tenant, xs)
+					default:
 						psort.SampleSort(xs, naiveOpts)
 					}
 				case 1:
-					if batched {
+					switch mode {
+					case "batched":
 						_ = s.Histogram(tenant, hist, xs, bucket)
-					} else {
+					case "sharded":
+						_ = g.Histogram(tenant, hist, xs, bucket)
+					default:
 						par.HistogramInto(hist, xs, naiveOpts, bucket)
 					}
 				case 2:
-					if batched {
+					switch mode {
+					case "batched":
 						_ = s.Scan(tenant, dst, xs)
-					} else {
+					case "sharded":
+						_ = g.Scan(tenant, dst, xs)
+					default:
 						par.ScanInclusive(dst, xs, naiveOpts, 0, add)
 					}
 				case 3:
-					if batched {
+					switch mode {
+					case "batched":
 						_, _ = s.Sum(tenant, xs)
-					} else {
+					case "sharded":
+						_, _ = g.Sum(tenant, xs)
+					default:
 						par.Sum(xs, naiveOpts)
 					}
 				}
@@ -104,10 +149,85 @@ func benchTrafficServe(b *testing.B, batched bool) {
 	}
 	wg.Wait()
 	b.StopTimer()
-	if batched {
+	switch mode {
+	case "batched":
 		st := s.Stats()
 		if st.Batches > 0 {
 			b.ReportMetric(float64(st.BatchedRequests)/float64(st.Batches), "reqs/batch")
 		}
+	case "sharded":
+		st := g.Stats()
+		if st.Aggregate.Batches > 0 {
+			b.ReportMetric(float64(st.Aggregate.BatchedRequests)/float64(st.Aggregate.Batches), "reqs/batch")
+		}
+		b.ReportMetric(float64(st.Migrated), "migrated")
+	}
+}
+
+// BenchmarkTrafficServeSkew is the worst case for affinity routing:
+// every client hammers tenants homed on shard 0 while the other
+// shards idle. With migration disabled that degenerates to one shard
+// doing all the work (the other dispatchers park); with the diffusive
+// balancer on, queued requests spread around the ring and the idle
+// shards' workers join in. The migration=on/off delta is the direct
+// measure of what rebalancing buys under pathological skew.
+func BenchmarkTrafficServeSkew(b *testing.B) {
+	b.Run("migration=off", func(b *testing.B) { benchTrafficSkew(b, true) })
+	b.Run("migration=on", func(b *testing.B) { benchTrafficSkew(b, false) })
+}
+
+// benchTrafficSkew drives b.N mixed requests from 32 clients, all on
+// tenants homed on shard 0.
+func benchTrafficSkew(b *testing.B, disableMigration bool) {
+	const n = 2 << 10
+	base := randInts(n, 42)
+
+	g := NewSharded(ShardedConfig{
+		Shards:           trafficShards,
+		ShardProcs:       trafficWorkers / trafficShards,
+		DisableMigration: disableMigration,
+		Config:           Config{BatchWindow: 200 * time.Microsecond},
+	})
+	defer g.Close()
+	tenants := tenantsHomedOn(g, 0, 4)
+
+	const clients = 32
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := tenants[c%len(tenants)]
+			xs := make([]int64, n)
+			hist := make([]int, 1024)
+			bucket := func(v int64) int { return int(uint64(v) % 1024) }
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				copy(xs, base)
+				switch i % 2 {
+				case 0:
+					_ = g.Sort(tenant, xs)
+				case 1:
+					_ = g.Histogram(tenant, hist, xs, bucket)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := g.Stats()
+	b.ReportMetric(float64(st.Migrated), "migrated")
+	var offHome int64
+	for i := 1; i < g.Shards(); i++ {
+		offHome += st.PerShard[i].Completed
+	}
+	if b.N > 1 {
+		b.ReportMetric(float64(offHome)/float64(b.N), "offhome-frac")
 	}
 }

@@ -82,6 +82,17 @@ type Config struct {
 	// are shed to serial execution and admission bounds tighten;
 	// <= 0 means DefaultSaturation.
 	Saturation float64
+
+	// stealIdle and overflow are the diffusive balancer's hooks, set
+	// only by Sharded (same package). stealIdle is invoked by the
+	// dispatcher when its queues are empty, before parking: it may
+	// migrate requests in from an overloaded sibling shard and
+	// returns how many arrived. overflow is invoked on the submitter's
+	// goroutine after each enqueue with the resulting queue depth: it
+	// may migrate part of a deep backlog out to an underloaded
+	// sibling. Plain Servers leave both nil and pay one nil check.
+	stealIdle func() int
+	overflow  func(queued int)
 }
 
 // Defaults for the Config knobs.
@@ -205,6 +216,12 @@ type Stats struct {
 	// Pipelined counts long requests routed through the streaming
 	// pipeline runtime instead of the batch path.
 	Pipelined int64
+	// MigratedIn and MigratedOut count requests the diffusive shard
+	// balancer moved onto and off this server's queues (always zero
+	// for a standalone Server). A migrated request is Accepted on its
+	// home shard and Completed wherever it executed, so per-shard
+	// Accepted and Completed diverge by exactly the migration flow.
+	MigratedIn, MigratedOut int64
 }
 
 // TenantStats is one tenant's share of the admission counters,
@@ -244,6 +261,8 @@ type Server struct {
 	shed            atomic.Int64
 	degraded        atomic.Int64
 	pipelined       atomic.Int64
+	migratedIn      atomic.Int64
+	migratedOut     atomic.Int64
 }
 
 // New creates a Server and starts its dispatcher. The dispatcher runs
@@ -293,6 +312,8 @@ func (s *Server) Stats() Stats {
 		Shed:            s.shed.Load(),
 		Degraded:        s.degraded.Load(),
 		Pipelined:       s.pipelined.Load(),
+		MigratedIn:      s.migratedIn.Load(),
+		MigratedOut:     s.migratedOut.Load(),
 	}
 }
 
@@ -371,8 +392,16 @@ func (s *Server) submit(r *request) error {
 	t.accepted.Add(1)
 	s.accepted.Add(1)
 	s.cond.Signal()
+	queued := s.queued
 	s.mu.Unlock()
 
+	// Diffusion's push edge: a submitter that just deepened the
+	// backlog is exactly the goroutine that should pay to spread it.
+	// The hook piggybacks on this existing event, so no balancer
+	// goroutine or ticker exists anywhere.
+	if ov := s.cfg.overflow; ov != nil {
+		ov(queued)
+	}
 	<-r.done
 	return r.err
 }
@@ -394,6 +423,83 @@ func (s *Server) popLocked(ti int) (r *request, emptied bool) {
 	t.qlen--
 	s.queued--
 	return r, emptied
+}
+
+// queueDepth returns the current number of queued requests — the
+// load signal the diffusive balancer compares across shards.
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	q := s.queued
+	s.mu.Unlock()
+	return q
+}
+
+// migrateOut pops up to max queued requests off s's queues — oldest
+// first, round-robin across tenants like batch formation, so a
+// migration slice has the same fair-share mix a batch would — and
+// appends them to buf. The popped requests belong exclusively to the
+// caller until it hands them to another shard's migrateIn: they are on
+// no queue, so neither dispatcher can see them, which is what makes a
+// migration exactly-once by construction.
+func (s *Server) migrateOut(buf []*request, max int) []*request {
+	n := 0
+	s.mu.Lock()
+	for n < max && len(s.active) > 0 {
+		if s.rr >= len(s.active) {
+			s.rr = 0
+		}
+		r, emptied := s.popLocked(s.rr)
+		buf = append(buf, r)
+		n++
+		if !emptied {
+			s.rr++
+		}
+	}
+	s.mu.Unlock()
+	s.migratedOut.Add(int64(n))
+	return buf
+}
+
+// migrateIn enqueues already-admitted requests from another shard onto
+// s's queues, bypassing the admission bound (rejecting work a sibling
+// admitted would turn a load-balancing move into a spurious error).
+// Each request is re-homed onto s's tenant entry of the same name, so
+// it competes in s's round-robin ring like native traffic and its
+// completion is counted under the same tenant name it was accepted
+// under. If s has already been closed — a migration racing a
+// shutdown — the requests are executed inline on the caller's
+// goroutine instead: a migrated request is never lost and never
+// spuriously rejected.
+func (s *Server) migrateIn(rs []*request) {
+	if len(rs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for _, r := range rs {
+			s.runOne(r)
+		}
+		s.migratedIn.Add(int64(len(rs)))
+		return
+	}
+	for _, r := range rs {
+		t := s.tenantLocked(r.tenantName)
+		r.t = t
+		r.next = nil
+		if t.tail == nil {
+			t.head = r
+			s.active = append(s.active, t)
+		} else {
+			t.tail.next = r
+		}
+		t.tail = r
+		t.qlen++
+		s.queued++
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.migratedIn.Add(int64(len(rs)))
 }
 
 // formBatchLocked pops up to maxBatch requests, one per tenant per
@@ -450,6 +556,19 @@ func (s *Server) dispatch() {
 	for {
 		s.mu.Lock()
 		for s.queued == 0 && !s.closed {
+			// Diffusion's pull edge: an idle dispatcher probes its
+			// sibling shards before parking. A successful steal leaves
+			// requests on our queues (the loop condition re-checks); a
+			// failed one parks until a local submit or a sibling's
+			// push migration signals the cond.
+			if steal := s.cfg.stealIdle; steal != nil {
+				s.mu.Unlock()
+				migrated := steal()
+				s.mu.Lock()
+				if migrated > 0 {
+					continue
+				}
+			}
 			s.cond.Wait()
 		}
 		if s.queued == 0 && s.closed {

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adapt"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/scratch"
+)
+
+// ShardedConfig shapes a Sharded server: the embedded Config is the
+// per-shard template (its Executor field is ignored — every shard owns
+// a dedicated executor; a nil Scratch gives every shard its own
+// arena pool), and the sharding knobs control shard count, per-shard
+// worker count and the diffusive balancer.
+type ShardedConfig struct {
+	Config
+
+	// Shards is the number of executor shards; <= 0 means
+	// exec.DefaultShardCount() (min(GOMAXPROCS/4, 8), at least 1,
+	// REPRO_EXEC_SHARDS overridable).
+	Shards int
+	// ShardProcs is the worker count of each shard's executor; <= 0
+	// divides GOMAXPROCS evenly across shards (at least one each).
+	ShardProcs int
+	// AdaptivePerShard gives every shard its own adaptive controller
+	// (distinct exploration seeds), so each shard's site caches are
+	// tuned by — and only contended by — its own traffic. Ignored
+	// when the template Config.Adaptive pins a shared controller.
+	AdaptivePerShard bool
+	// DisableMigration turns the diffusive balancer off: requests
+	// stay on their affinity shard no matter how skewed the load gets.
+	// The migration-on/off delta is the balancer's measured value
+	// (BenchmarkTrafficServeSkew, experiment E24).
+	DisableMigration bool
+	// MigrateHysteresis is the queue-depth divergence (in requests)
+	// between two adjacent shards below which no migration happens;
+	// <= 0 means DefaultMigrateHysteresis. Hysteresis is what
+	// preserves affinity: balanced traffic never diverges past it, so
+	// tenants stay home and their scratch/adaptive state stays hot.
+	MigrateHysteresis int
+	// MigrateHeadroom is the occupancy EWMA at or below which a shard
+	// is considered to have room for migrated work; a busier target
+	// refuses migration (moving work between two saturated shards
+	// only destroys locality). <= 0 means DefaultMigrateHeadroom.
+	MigrateHeadroom float64
+}
+
+// Sharding defaults.
+const (
+	DefaultMigrateHysteresis = 8
+	DefaultMigrateHeadroom   = 0.75
+)
+
+func (c ShardedConfig) numShards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return exec.DefaultShardCount()
+}
+
+func (c ShardedConfig) hysteresis() int {
+	if c.MigrateHysteresis > 0 {
+		return c.MigrateHysteresis
+	}
+	return DefaultMigrateHysteresis
+}
+
+func (c ShardedConfig) headroom() float64 {
+	if c.MigrateHeadroom > 0 {
+		return c.MigrateHeadroom
+	}
+	return DefaultMigrateHeadroom
+}
+
+// ShardedStats is a snapshot of a sharded server's counters: the
+// field-wise aggregate over shards (Tenants counts distinct names,
+// not per-shard entries), the per-shard breakdown, and the balancer's
+// migration counters.
+type ShardedStats struct {
+	Shards    int
+	Aggregate Stats
+	PerShard  []Stats
+	// Migrations counts balancer events (each moves one slice of
+	// requests between adjacent shards); Migrated counts the requests
+	// moved. Both stay 0 under balanced traffic — migration is the
+	// exception path, not the routing path.
+	Migrations, Migrated int64
+}
+
+// Sharded is the sharded request-serving runtime: N independent
+// Server shards — each with its own executor (work-stealing deques,
+// occupancy gauges), scratch arena pool, optional adaptive controller
+// and batch dispatcher — plus a diffusive load balancer between them.
+//
+// Requests route to their tenant's home shard by stable hash, so in
+// the common (balanced) case a tenant's queue, batches, scratch reuse
+// and adaptive site state are all shard-local and the N dispatchers
+// never contend. When tenant skew overloads one shard, the balancer
+// migrates queued requests to adjacent shards in the ring — the
+// diffusive/repartitioning strategy of parallel adaptive FEM load
+// balancing, applied to request queues instead of mesh partitions:
+// compare local load estimates with your neighbors', move half the
+// divergence when it exceeds a hysteresis threshold, and let repeated
+// local exchanges spread a hot spot across the whole ring without any
+// global re-assignment. Both balancer edges piggyback on existing
+// events (a submitter observing a deep backlog pushes; an idle
+// dispatcher pulls before parking), so no dedicated balancer
+// goroutine or ticker exists.
+//
+// Create one with NewSharded, submit with the same typed methods as
+// Server, and Close it when done.
+type Sharded struct {
+	cfg    ShardedConfig
+	execs  *exec.Sharded
+	shards []*Server
+	// ready flips once every shard exists; dispatchers start inside
+	// the construction loop and may probe the balancer before their
+	// neighbors are built, so both edges no-op until then.
+	ready  atomic.Bool
+	closed atomic.Bool
+
+	migrations atomic.Int64
+	migrated   atomic.Int64
+	// migBufs recycles the migration slices so a steady stream of
+	// balancer events allocates nothing per event.
+	migBufs sync.Pool
+}
+
+// NewSharded creates a sharded server and starts one dispatcher per
+// shard.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	n := cfg.numShards()
+	g := &Sharded{cfg: cfg}
+	g.migBufs.New = func() any {
+		s := make([]*request, 0, cfg.maxBatch())
+		return &s
+	}
+	g.execs = exec.NewSharded(n, cfg.ShardProcs)
+	g.shards = make([]*Server, n)
+	for i := range g.shards {
+		sc := cfg.Config
+		sc.Executor = g.execs.Shard(i)
+		if sc.Scratch == nil {
+			sc.Scratch = scratch.New()
+		}
+		if sc.Adaptive == nil && cfg.AdaptivePerShard {
+			sc.Adaptive = adapt.New(adapt.Config{Seed: uint64(i + 1)})
+		}
+		if !cfg.DisableMigration && n > 1 {
+			i := i
+			sc.stealIdle = func() int { return g.pull(i) }
+			sc.overflow = func(queued int) { g.push(i, queued) }
+		}
+		g.shards[i] = New(sc)
+	}
+	g.ready.Store(true)
+	return g
+}
+
+// shardKey hashes a tenant name (FNV-1a) to its affinity key.
+func shardKey(tenant string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// home returns the tenant's affinity shard.
+func (g *Sharded) home(tenant string) *Server {
+	return g.shards[shardKey(tenant)%uint64(len(g.shards))]
+}
+
+// HomeShard returns the shard index the tenant routes to — the
+// affinity mapping made observable for tests and demos.
+func (g *Sharded) HomeShard(tenant string) int {
+	return int(shardKey(tenant) % uint64(len(g.shards)))
+}
+
+// Shards returns the number of shards.
+func (g *Sharded) Shards() int { return len(g.shards) }
+
+// Executors returns the underlying executor shard group (per-shard
+// and aggregate occupancy gauges, steal counters).
+func (g *Sharded) Executors() *exec.Sharded { return g.execs }
+
+// push is the balancer's push edge, called on a submitter's goroutine
+// after it deepened shard from's backlog to queued requests. The
+// cheap depth gate keeps the common un-backlogged case to one integer
+// compare.
+func (g *Sharded) push(from, queued int) {
+	if queued < 2*g.cfg.hysteresis() || !g.ready.Load() || g.closed.Load() {
+		return
+	}
+	n := len(g.shards)
+	left, right := (from+n-1)%n, (from+1)%n
+	if g.tryMigrate(from, left) > 0 {
+		return
+	}
+	if right != left {
+		g.tryMigrate(from, right)
+	}
+}
+
+// pull is the balancer's pull edge, called by shard to's dispatcher
+// when its queues are empty, before parking.
+func (g *Sharded) pull(to int) int {
+	if !g.ready.Load() || g.closed.Load() {
+		return 0
+	}
+	n := len(g.shards)
+	left, right := (to+n-1)%n, (to+1)%n
+	if m := g.tryMigrate(left, to); m > 0 {
+		return m
+	}
+	if right != left {
+		return g.tryMigrate(right, to)
+	}
+	return 0
+}
+
+// tryMigrate is one diffusive exchange between adjacent shards: if
+// from's queue exceeds to's by at least the hysteresis threshold and
+// to's executor has headroom (occupancy EWMA at or below
+// MigrateHeadroom — the smoothing is what keeps one idle probe
+// between batches from reading as an idle shard), move half the
+// divergence (capped at one batch). It returns the number of requests
+// moved. The popped requests are owned exclusively by this goroutine
+// between the pop and the inject, so a request is never on two queues
+// and never on none-without-an-owner: migration is exactly-once by
+// construction.
+func (g *Sharded) tryMigrate(from, to int) int {
+	if from == to {
+		return 0
+	}
+	diff := g.shards[from].queueDepth() - g.shards[to].queueDepth()
+	if diff < g.cfg.hysteresis() {
+		return 0
+	}
+	if g.execs.Shard(to).OccupancyEWMA() > g.cfg.headroom() {
+		return 0
+	}
+	take := diff / 2
+	if maxB := g.cfg.maxBatch(); take > maxB {
+		take = maxB
+	}
+	bufp := g.migBufs.Get().(*[]*request)
+	buf := g.shards[from].migrateOut((*bufp)[:0], take)
+	n := len(buf)
+	if n > 0 {
+		g.shards[to].migrateIn(buf)
+		g.migrations.Add(1)
+		g.migrated.Add(int64(n))
+	}
+	*bufp = buf[:0]
+	g.migBufs.Put(bufp)
+	return n
+}
+
+// Close stops the balancer, closes every shard (draining their queues)
+// and then closes their executors. Idempotent.
+func (g *Sharded) Close() {
+	g.closed.Store(true)
+	for _, s := range g.shards {
+		s.Close()
+	}
+	g.execs.Close()
+}
+
+// Stats returns a racy snapshot of the sharded server's counters.
+func (g *Sharded) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:     len(g.shards),
+		PerShard:   make([]Stats, len(g.shards)),
+		Migrations: g.migrations.Load(),
+		Migrated:   g.migrated.Load(),
+	}
+	for i, s := range g.shards {
+		ss := s.Stats()
+		st.PerShard[i] = ss
+		a := &st.Aggregate
+		a.Accepted += ss.Accepted
+		a.Rejected += ss.Rejected
+		a.Completed += ss.Completed
+		a.Batches += ss.Batches
+		a.BatchedRequests += ss.BatchedRequests
+		if ss.MaxBatch > a.MaxBatch {
+			a.MaxBatch = ss.MaxBatch
+		}
+		a.ParallelBatches += ss.ParallelBatches
+		a.SerialBatches += ss.SerialBatches
+		a.Shed += ss.Shed
+		a.Degraded += ss.Degraded
+		a.Pipelined += ss.Pipelined
+		a.MigratedIn += ss.MigratedIn
+		a.MigratedOut += ss.MigratedOut
+	}
+	st.Aggregate.Tenants = len(g.TenantStats())
+	return st
+}
+
+// TenantStats returns per-tenant counters merged by name across
+// shards (a migrated tenant has entries on more than one shard), in
+// name order. Accepted is counted on the home shard and Completed
+// wherever the request executed, so the merged view is the one in
+// which every tenant's Accepted and Completed match.
+func (g *Sharded) TenantStats() []TenantStats {
+	m := map[string]TenantStats{}
+	for _, s := range g.shards {
+		for _, ts := range s.TenantStats() {
+			cur := m[ts.Name]
+			cur.Name = ts.Name
+			cur.Accepted += ts.Accepted
+			cur.Rejected += ts.Rejected
+			cur.Completed += ts.Completed
+			m[ts.Name] = cur
+		}
+	}
+	out := make([]TenantStats, 0, len(m))
+	for _, ts := range m {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Sort sorts xs in place on the tenant's home shard (or migrated
+// siblings under skew); long inputs stream through the home shard's
+// pipeline route.
+func (g *Sharded) Sort(tenant string, xs []int64) error {
+	return g.home(tenant).Sort(tenant, xs)
+}
+
+// Select returns the k-th smallest element of xs (0-based) without
+// modifying xs.
+func (g *Sharded) Select(tenant string, xs []int64, k int) (int64, error) {
+	return g.home(tenant).Select(tenant, xs, k)
+}
+
+// Histogram counts bucket(x) occurrences over xs into hist.
+func (g *Sharded) Histogram(tenant string, hist []int, xs []int64, bucket func(int64) int) error {
+	return g.home(tenant).Histogram(tenant, hist, xs, bucket)
+}
+
+// Scan writes inclusive prefix sums of xs into dst.
+func (g *Sharded) Scan(tenant string, dst, xs []int64) error {
+	return g.home(tenant).Scan(tenant, dst, xs)
+}
+
+// Sum returns the sum of xs.
+func (g *Sharded) Sum(tenant string, xs []int64) (int64, error) {
+	return g.home(tenant).Sum(tenant, xs)
+}
+
+// BFS returns hop distances from src in g (-1 when unreachable).
+func (g *Sharded) BFS(tenant string, gr *graph.Graph, src int) ([]int32, error) {
+	return g.home(tenant).BFS(tenant, gr, src)
+}

@@ -111,6 +111,20 @@ type (
 	// ServerTenantStats is one tenant's accepted/rejected/completed
 	// share of a server's counters.
 	ServerTenantStats = serve.TenantStats
+	// ShardedServer is the sharded request-serving runtime: N Server
+	// shards — each with its own executor pool, scratch arena and
+	// batch dispatcher — with tenants hashed to a home shard and a
+	// diffusive balancer that migrates queued requests from an
+	// overloaded shard to its ring neighbors when their backlogs
+	// diverge. Build one with NewShardedServer.
+	ShardedServer = serve.Sharded
+	// ShardedServerConfig shapes a ShardedServer (shard count,
+	// per-shard workers, migration thresholds, plus the embedded
+	// per-shard ServerConfig).
+	ShardedServerConfig = serve.ShardedConfig
+	// ShardedServerStats is a snapshot of a sharded server's
+	// aggregate, per-shard and migration counters.
+	ShardedServerStats = serve.ShardedStats
 )
 
 // Admission-control errors returned by Server request methods.
@@ -207,6 +221,25 @@ func NewPipeline(cfg PipelineConfig) *Pipeline { return pipeline.New(cfg) }
 // internal/serve for the admission ladder and fairness semantics, and
 // `parbench -serve` for a multi-tenant traffic demo.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// NewShardedServer creates a sharded request-serving runtime and
+// starts one batch dispatcher per shard; Close it when done. It
+// serves the same typed methods as Server. Each request routes to its
+// tenant's home shard (stable hash), so balanced tenants never share
+// queues, executors or scratch pools; under tenant skew the diffusive
+// balancer migrates queued requests to adjacent shards:
+//
+//	srv := repro.NewShardedServer(repro.ShardedServerConfig{})
+//	defer srv.Close()
+//	if err := srv.Sort("tenant-a", xs); err != nil { ... }
+//	fmt.Println(srv.Stats().Migrated)
+//
+// The zero ShardedServerConfig picks min(GOMAXPROCS/4, 8) shards
+// (REPRO_EXEC_SHARDS overrides) splitting GOMAXPROCS workers evenly,
+// with migration on at default hysteresis. See internal/serve for
+// the affinity and migration semantics, and `parbench -serve -shards
+// N` for a skewed-traffic demo.
+func NewShardedServer(cfg ShardedServerConfig) *ShardedServer { return serve.NewSharded(cfg) }
 
 // For executes body(i) for i in [0, n) in parallel.
 func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }

@@ -98,7 +98,7 @@ func TestFacadeMatMulJacobi(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 23 || ids[0] != "E1" {
+	if len(ids) != 24 || ids[0] != "E1" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	var buf bytes.Buffer
@@ -256,4 +256,49 @@ func ExampleNewServer() {
 	}
 	fmt.Println(xs, median, srv.Stats().Completed)
 	// Output: [1 2 3 4 5] 7 2
+}
+
+func TestFacadeShardedServer(t *testing.T) {
+	srv := NewShardedServer(ShardedServerConfig{Shards: 2, ShardProcs: 1})
+	defer srv.Close()
+	xs := RandomInts(5000, 7)
+	want := append([]int64(nil), xs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for c := 0; c < 4; c++ {
+		tenant := fmt.Sprintf("tenant-%d", c)
+		ys := append([]int64(nil), xs...)
+		if err := srv.Sort(tenant, ys); err != nil {
+			t.Fatalf("sort: %v", err)
+		}
+		for i := range want {
+			if ys[i] != want[i] {
+				t.Fatalf("tenant %s sort mismatch at %d", tenant, i)
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.Shards != 2 || len(st.PerShard) != 2 {
+		t.Fatalf("stats shards = %d/%d, want 2", st.Shards, len(st.PerShard))
+	}
+	if st.Aggregate.Completed != 4 || st.Aggregate.Accepted != 4 {
+		t.Fatalf("aggregate = %+v, want 4 accepted/completed", st.Aggregate)
+	}
+	if srv.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", srv.Shards())
+	}
+}
+
+func ExampleNewShardedServer() {
+	srv := NewShardedServer(ShardedServerConfig{Shards: 2, ShardProcs: 1})
+	defer srv.Close()
+	xs := []int64{5, 3, 1, 4, 2}
+	if err := srv.Sort("tenant-a", xs); err != nil {
+		panic(err)
+	}
+	sum, err := srv.Sum("tenant-b", []int64{9, 7, 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(xs, sum, srv.Stats().Aggregate.Completed)
+	// Output: [1 2 3 4 5] 24 2
 }

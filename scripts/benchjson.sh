@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Serve-benchmark JSON emitter (CI + local): runs the traffic-serving
+# benchmark suite (the client-count sweep across naive/batched/sharded
+# modes plus the skewed-tenant migration pair) with -benchmem and
+# renders the results as a JSON array, one object per sub-benchmark
+# with ns/op, B/op, allocs/op and any custom metrics (reqs/batch,
+# migrated, offhome-frac). Run from anywhere.
+#
+#   BENCH_OUT=path   output file (default BENCH_serve.json)
+#   BENCHTIME=spec   go -benchtime value (default 1000x; CI uses 1x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_serve.json}"
+benchtime="${BENCHTIME:-1000x}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkTrafficServe' -benchtime "$benchtime" \
+	-benchmem ./internal/serve)
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+function flushrow() {
+	if (name == "") return
+	if (!first) printf ",\n"
+	first = 0
+	printf "  {\"name\": \"%s\", \"iterations\": %s", name, iters
+	for (i = 1; i <= nm; i++) printf ", \"%s\": %s", mkey[i], mval[i]
+	printf "}"
+}
+/^Benchmark/ {
+	flushrow()
+	name = $1; iters = $2; nm = 0
+	# Fields come in "<value> <unit>" pairs after the iteration count.
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "-per-", unit)
+		nm++; mkey[nm] = unit; mval[nm] = $i
+	}
+}
+BEGIN { first = 1; printf "[\n" }
+END { flushrow(); printf "\n]\n" }
+' >"$out"
+
+echo "benchjson: $(grep -c '"name"' "$out") benchmarks -> $out (benchtime $benchtime)"
