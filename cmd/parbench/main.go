@@ -9,6 +9,8 @@
 //	parbench -exp E2 -quick      # smoke-size problems
 //	parbench -exp E1 -csv out/   # also write CSV per experiment
 //	parbench -list               # show the experiment index
+//	parbench -kernels            # show the kernel registry index
+//	parbench -kernel gups        # one kernel through every ladder
 //	parbench -pipeline           # streaming-pipeline traffic demo
 //	parbench -serve              # multi-tenant request-serving demo
 //
@@ -76,6 +78,9 @@ func main() {
 			"run the multi-tenant request-serving traffic demo (batched admission control over mixed sort/histogram/scan/sum requests) and print its throughput/latency-percentile stats instead of experiments")
 		shardsFlag = flag.Int("shards", 0,
 			"with -serve: shard the server into N executor shards with tenant-affinity routing and diffusive migration, and print per-shard stats (0 = unsharded; sharded mode builds its own per-shard executors, so -executor is ignored)")
+		kernelsFlag = flag.Bool("kernels", false, "list the kernel registry (name, variants, stream/relation wiring) and exit")
+		kernelFlag  = flag.String("kernel", "",
+			"run one registered kernel through every ladder — dispatched one-shot vs serial oracle, each variant, and the serve batch path — and print verified timings instead of experiments")
 	)
 	flag.Parse()
 
@@ -97,6 +102,11 @@ func main() {
 		return
 	}
 
+	if *kernelsFlag {
+		printKernels(os.Stdout)
+		return
+	}
+
 	cfg := core.Config{Quick: *quick, Reps: *reps, Seed: *seed}
 	var err error
 	if cfg.Executor, err = executorFor(*executor); err != nil {
@@ -113,6 +123,14 @@ func main() {
 	}
 	if cfg.VProcs, err = parseInts(*vprocs); err != nil {
 		fatalf("bad -vprocs: %v", err)
+	}
+
+	if *kernelFlag != "" {
+		if err := runKernelDemo(cfg, *kernelFlag, os.Stdout); err != nil {
+			fatalf("kernel: %v", err)
+		}
+		printRuntimeStats(cfg)
+		return
 	}
 
 	if *pipelineMode {

@@ -132,7 +132,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 24 {
+	if len(all) != 25 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

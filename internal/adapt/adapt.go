@@ -24,6 +24,14 @@ const (
 	// callers such as scan, pack, histogram, the sorts): candidates are
 	// worker-count shares of the requested parallelism plus serial.
 	KindWorkers
+	// KindVariant selects among whole algorithm variants of one kernel
+	// (sample sort vs radix sort vs counting sort): candidates are the
+	// variants themselves, declared per site with NewVariantSite, and
+	// the class index is a caller-supplied input feature (key width,
+	// size bucket) instead of the length's size class. Variant sites
+	// are consulted through DecideVariant, not Decide — algorithm
+	// choice is orthogonal to parallelism, so it applies even at p=1.
+	KindVariant
 )
 
 // Site names one adaptive call site. Sites are cheap, immutable
@@ -31,9 +39,10 @@ const (
 // controller's cache. Declare one per kernel call site as a package
 // variable, or let par derive one from the program counter.
 type Site struct {
-	name string
-	kind Kind
-	id   uint32
+	name     string
+	kind     Kind
+	id       uint32
+	variants int // candidate count of a KindVariant site; 0 otherwise
 }
 
 // siteIDs allocates process-global site identities so any controller
@@ -452,9 +461,15 @@ func (c *Controller) Best(site *Site, n, p int) (Decision, bool) {
 }
 
 // class returns the (site, size-class) state, creating it on first
-// sight. The hit path is two atomic loads and two bounds checks.
+// sight.
 func (c *Controller) class(site *Site, n, p int) *classState {
-	sc := sizeClass(n)
+	return c.classAt(site, sizeClass(n), n, p)
+}
+
+// classAt returns the (site, class) state for an explicit class index,
+// creating it on first sight. The hit path is two atomic loads and two
+// bounds checks.
+func (c *Controller) classAt(site *Site, sc, n, p int) *classState {
 	if es := c.entries.Load(); es != nil && int(site.id) < len(*es) {
 		if e := (*es)[site.id]; e != nil {
 			if cs := e.classes[sc].Load(); cs != nil {
@@ -499,13 +514,13 @@ func (c *Controller) makeClass(site *Site, sc, n, p int) *classState {
 // newClassState seeds a class's candidate estimates from the machine
 // model prior at the class's representative size.
 func (c *Controller) newClassState(site *Site, sc, n, p int) *classState {
-	k := latticeSize(site.kind)
+	k := site.latticeSize()
 	cs := &classState{
 		kind:   site.kind,
 		rnd:    rng.New(c.cfg.seed() ^ uint64(site.id)*0x9E3779B97F4A7C15 ^ uint64(sc)<<32),
 		ewma:   make([]float64, k),
 		trials: make([]int32, k),
-		active: activeCandidates(site.kind, p),
+		active: site.activeCandidates(p),
 	}
 	pr := *c.prior.Load()
 	rep := classRep(sc)

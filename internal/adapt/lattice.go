@@ -34,6 +34,30 @@ func latticeSize(kind Kind) int {
 	return 1 + len(rangeGrains)*numPolicies
 }
 
+// latticeSize returns the site's candidate count: the per-site variant
+// count for KindVariant sites, the kind's fixed lattice otherwise.
+func (s *Site) latticeSize() int {
+	if s.kind == KindVariant {
+		return s.variants
+	}
+	return latticeSize(s.kind)
+}
+
+// activeCandidates lists the site's candidate indices worth learning
+// for a class created with p requested workers. Every variant of a
+// KindVariant site is always active: variants are whole algorithms
+// (each with its own serial fallback), so none collapses with p.
+func (s *Site) activeCandidates(p int) []int32 {
+	if s.kind == KindVariant {
+		out := make([]int32, s.variants)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	return activeCandidates(s.kind, p)
+}
+
 // activeCandidates lists the lattice indices worth learning for a
 // class created with p requested workers. Range candidates are always
 // distinct; worker shares collapse when p is small (at p=2 every share
@@ -93,6 +117,12 @@ func candidateDecision(kind Kind, idx, n, p int) Decision {
 func (pr Prior) predict(kind Kind, idx, n, p int) float64 {
 	if n < 1 {
 		n = 1
+	}
+	if kind == KindVariant {
+		// Variants share one prior: the model has no opinion between
+		// algorithms, so the deterministic sweep and the EWMA argmin
+		// decide from measurements alone.
+		return pr.SecPerOp
 	}
 	if idx <= 0 {
 		return pr.SecPerOp // serial: no barrier, no chunks

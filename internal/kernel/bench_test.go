@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/par"
+)
+
+// Variant benchmarks: each algorithm candidate individually, plus the
+// adaptive dispatch path with a pre-warmed controller, over the two
+// key regimes the sort feature separates. scripts/benchjson.sh turns
+// these into BENCH_kernels.json; the acceptance ratio is
+// adaptive vs sample on narrow keys.
+
+func benchSortInput(b *testing.B, base []int64, run func(xs []int64)) {
+	b.Helper()
+	buf := make([]int64, len(base))
+	b.SetBytes(int64(8 * len(base)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		run(buf)
+	}
+	b.StopTimer()
+	if !slices.IsSorted(buf) {
+		b.Fatal("benchmarked variant failed to sort")
+	}
+}
+
+// warmedController converges the sort kernel's variant lattice on base
+// before timing starts, so the adaptive benchmark measures steady-state
+// dispatch (one feature probe + one table lookup), not exploration.
+func warmedController(b *testing.B, base []int64) *adapt.Controller {
+	b.Helper()
+	k := MustLookup("sort")
+	ctl := adapt.New(adapt.Config{ConvergeAfter: 12, Seed: 9})
+	xs := make([]int64, len(base))
+	for i := 0; i < 24; i++ {
+		copy(xs, base)
+		k.Run(&Args{Xs: xs}, par.Options{Procs: 1, Adaptive: ctl})
+	}
+	return ctl
+}
+
+func benchSortRegime(b *testing.B, base []int64) {
+	k := MustLookup("sort")
+	for i, v := range k.Variants {
+		i := i
+		b.Run(v.Name, func(b *testing.B) {
+			benchSortInput(b, base, func(xs []int64) {
+				k.RunVariant(i, &Args{Xs: xs}, par.Options{Procs: 1})
+			})
+		})
+	}
+	b.Run("adaptive", func(b *testing.B) {
+		ctl := warmedController(b, base)
+		opts := par.Options{Procs: 1, Adaptive: ctl}
+		benchSortInput(b, base, func(xs []int64) {
+			k.Run(&Args{Xs: xs}, opts)
+		})
+	})
+}
+
+// BenchmarkSortNarrow16: uniform keys masked to 16 bits — the regime
+// where a distribution sort beats the comparison baseline and adaptive
+// dispatch should route away from sample.
+func BenchmarkSortNarrow16(b *testing.B) {
+	benchSortRegime(b, narrowInput(1<<15, 3))
+}
+
+// BenchmarkSortWide64: full-range nearly-sorted keys — the regime
+// where sample sort's cheap comparisons win and radix pays all eight
+// passes; adaptive dispatch should stay on sample.
+func BenchmarkSortWide64(b *testing.B) {
+	benchSortRegime(b, wideNearlySorted(1<<15, 5))
+}

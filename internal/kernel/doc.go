@@ -1,0 +1,38 @@
+// Package kernel is the typed kernel-descriptor registry: the single
+// place a computational kernel is declared once and threaded through
+// every runtime and testing layer.
+//
+// One Register call declares a kernel's name, its algorithm variants
+// (candidates in an adapt variant lattice, so the adaptive runtime
+// picks the algorithm — not just grain, policy and workers), its
+// serial oracle, argument validation, a deterministic input
+// generator, an output checker, an input-feature extractor for
+// variant dispatch, an optional streaming-pipeline adapter, and its
+// metamorphic relations. The layers then derive everything from the
+// descriptor:
+//
+//   - internal/serve dispatches requests through Kernel.Run instead of
+//     a per-kernel op switch, and routes large inputs through
+//     Kernel.Stream when the kernel has one;
+//   - internal/difftest oracle-checks every registered kernel (and
+//     every variant) against Kernel.Serial across its size × policy ×
+//     procs matrix;
+//   - internal/metatest replays each kernel's MetaRelations across the
+//     same matrix;
+//   - internal/core's experiment E25 builds its one-shot vs serve vs
+//     pipeline table from All();
+//   - cmd/parbench lists and demos kernels by name.
+//
+// Adding a kernel is therefore one registration file: gups.go in this
+// package is the proof — the GUPS random-access kernel arrives fully
+// threaded (serve request path, difftest oracle, metamorphic
+// property, experiment row, parbench demo) with no edits to any of
+// those layers.
+//
+// # Layering
+//
+// kernel sits above the kernel implementations (psort, psel, pgraph,
+// par) and the runtimes they share (adapt, exec, scratch, pipeline),
+// and below serve, difftest, metatest, core and cmd/parbench, which
+// consume the registry. It must not import serve.
+package kernel

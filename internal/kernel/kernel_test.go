@@ -1,0 +1,218 @@
+package kernel
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+func TestRegistryRoster(t *testing.T) {
+	for _, name := range []string{"sort", "select", "histogram", "scan", "sum", "bfs", "gups"} {
+		if Lookup(name) == nil {
+			t.Errorf("built-in kernel %q not registered", name)
+		}
+	}
+	names := Names()
+	if !slices.IsSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(All()) != len(names) {
+		t.Errorf("All() has %d kernels, Names() %d", len(All()), len(names))
+	}
+	if Lookup("no-such-kernel") != nil {
+		t.Error("Lookup of unknown name returned a kernel")
+	}
+}
+
+func TestRegisterRejectsIncompleteAndDuplicate(t *testing.T) {
+	mustPanic := func(name string, k Kernel) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(k)
+	}
+	ok := Kernel{
+		Name:     "sort", // duplicate of the built-in
+		Variants: []Variant{{Name: "v", Run: func(*Args, par.Options) {}}},
+		Serial:   func(*Args) {},
+		Gen:      func(int, uint64) *Args { return &Args{} },
+		Check:    func(*Args, *Args) error { return nil },
+	}
+	mustPanic("duplicate", ok)
+	missing := ok
+	missing.Name = "test-incomplete"
+	missing.Serial = nil
+	mustPanic("missing serial", missing)
+	unnamed := ok
+	unnamed.Name = "test-unnamed-variant"
+	unnamed.Variants = []Variant{{Run: func(*Args, par.Options) {}}}
+	mustPanic("unnamed variant", unnamed)
+}
+
+func TestRunWithoutControllerUsesDefaultVariant(t *testing.T) {
+	k := MustLookup("sort")
+	got := k.Gen(4096, 1)
+	want := k.Gen(4096, 1)
+	k.Serial(want)
+	k.Run(got, par.Options{Procs: 2, SerialCutoff: 1})
+	if err := k.Check(got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVariantOracleChecksEveryAlgorithm(t *testing.T) {
+	k := MustLookup("sort")
+	for i, v := range k.Variants {
+		for seed := uint64(0); seed < 4; seed++ {
+			got := k.Gen(8192, seed)
+			want := k.Gen(8192, seed)
+			k.Serial(want)
+			k.RunVariant(i, got, par.Options{Procs: 2, SerialCutoff: 1})
+			if err := k.Check(got, want); err != nil {
+				t.Fatalf("variant %s seed %d: %v", v.Name, seed, err)
+			}
+		}
+	}
+}
+
+// narrowInput is a uniform uint16-range key array: counting sort's
+// home turf.
+func narrowInput(n int, seed uint64) []int64 {
+	xs := gen.Ints(n, gen.Uniform, seed)
+	for i := range xs {
+		xs[i] &= 0xFFFF
+	}
+	return xs
+}
+
+// wideNearlySorted is full-range keys in nearly sorted order: the
+// comparison sort's home turf (radix still pays all eight passes).
+func wideNearlySorted(n int, seed uint64) []int64 {
+	xs := gen.Ints(n, gen.Uniform, seed)
+	slices.Sort(xs)
+	r := seed*2 + 1
+	for k := 0; k < n/100; k++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		i := int(r>>33) % n
+		j := (i*7 + 13) % n
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+	return xs
+}
+
+// warmSortDispatch drives the sort kernel's variant lattice to
+// convergence on copies of base and returns the controller.
+func warmSortDispatch(t *testing.T, base []int64, rounds int) *adapt.Controller {
+	t.Helper()
+	k := MustLookup("sort")
+	ctl := adapt.New(adapt.Config{ConvergeAfter: 12, Seed: 9})
+	xs := make([]int64, len(base))
+	for i := 0; i < rounds; i++ {
+		copy(xs, base)
+		a := &Args{Xs: xs}
+		k.Run(a, par.Options{Procs: 1, Adaptive: ctl})
+		if !slices.IsSorted(xs) {
+			t.Fatal("dispatched variant failed to sort")
+		}
+	}
+	return ctl
+}
+
+func TestVariantDispatchPrefersCountingOnNarrowKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-driven convergence test")
+	}
+	k := MustLookup("sort")
+	base := narrowInput(1<<15, 3)
+	class := k.Feature(&Args{Xs: base})
+	ctl := warmSortDispatch(t, base, 24)
+	best, ok := ctl.BestVariant(k.Site(), class)
+	if !ok {
+		t.Fatal("variant class never created")
+	}
+	if best == 0 {
+		t.Errorf("narrow keys converged to %q; want a narrow-key specialist (radix or counting)",
+			k.Variants[best].Name)
+	}
+	if v := ctl.ClassVisits(k.Site(), class); v == 0 {
+		t.Error("variant site recorded no visits")
+	}
+}
+
+func TestVariantDispatchPrefersSampleOnWideSortedKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-driven convergence test")
+	}
+	k := MustLookup("sort")
+	base := wideNearlySorted(1<<15, 5)
+	class := k.Feature(&Args{Xs: base})
+	ctl := warmSortDispatch(t, base, 24)
+	best, ok := ctl.BestVariant(k.Site(), class)
+	if !ok {
+		t.Fatal("variant class never created")
+	}
+	if best != 0 {
+		t.Errorf("wide nearly-sorted keys converged to %q; want sample", k.Variants[best].Name)
+	}
+}
+
+func TestSortFeatureSeparatesRegimes(t *testing.T) {
+	narrow := &Args{Xs: narrowInput(1<<15, 1)}
+	wide := &Args{Xs: wideNearlySorted(1<<15, 1)}
+	cn, cw := sortFeature(narrow), sortFeature(wide)
+	if cn == cw {
+		t.Fatalf("narrow and wide inputs share feature class %d", cn)
+	}
+	for _, a := range []*Args{narrow, wide, {Xs: nil}} {
+		if c := sortFeature(a); c < 0 || c > 63 {
+			t.Fatalf("feature class %d out of [0, 63]", c)
+		}
+	}
+}
+
+func TestGUPSMatchesSerialAcrossProcs(t *testing.T) {
+	k := MustLookup("gups")
+	for _, procs := range []int{1, 2, 4} {
+		for seed := uint64(0); seed < 3; seed++ {
+			got := k.Gen(4096, seed)
+			want := k.Gen(4096, seed)
+			k.Serial(want)
+			k.Run(got, par.Options{Procs: procs, SerialCutoff: 1, Grain: 64})
+			if err := k.Check(got, want); err != nil {
+				t.Fatalf("procs=%d seed=%d: %v", procs, seed, err)
+			}
+		}
+	}
+}
+
+func TestGUPSValidateRejectsBadTables(t *testing.T) {
+	k := MustLookup("gups")
+	for _, bad := range []*Args{
+		{Xs: nil, K: 1},
+		{Xs: make([]int64, 3), K: 1},
+		{Xs: make([]int64, 4), K: -1},
+	} {
+		if err := k.Validate(bad); err == nil {
+			t.Errorf("Validate accepted table len %d, K %d", len(bad.Xs), bad.K)
+		}
+	}
+	if err := k.Validate(k.Gen(1000, 1)); err != nil {
+		t.Errorf("Validate rejected generated args: %v", err)
+	}
+}
+
+func TestArgsLen(t *testing.T) {
+	if (&Args{Xs: make([]int64, 5)}).Len() != 5 {
+		t.Error("Len != len(Xs)")
+	}
+	b := MustLookup("bfs").Gen(17, 0)
+	if b.Len() != 17 {
+		t.Errorf("graph Len = %d, want 17", b.Len())
+	}
+}

@@ -1,0 +1,55 @@
+package metatest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// TestMetaRegistryKernels is the registry-derived metamorphic matrix:
+// every registered kernel's declared relations × size × seed ×
+// configuration. For each cell the base and mutated inputs both run
+// through the dispatched entrypoint and the kernel's Relate checks
+// the required output relationship — no oracle involved, so this
+// catches bugs a wrong-but-consistent oracle would bless. A kernel
+// registration's Meta list buys this coverage with no edits here.
+func TestMetaRegistryKernels(t *testing.T) {
+	matrix := smallMatrix()
+	const seedCount = 3
+	for _, k := range kernel.All() {
+		if len(k.Meta) == 0 {
+			t.Errorf("kernel %q declares no metamorphic relations", k.Name)
+			continue
+		}
+		t.Run(k.Name, func(t *testing.T) {
+			for _, rel := range k.Meta {
+				t.Run(rel.Name, func(t *testing.T) {
+					for _, n := range sizes() {
+						for seed := uint64(0); seed < seedCount; seed++ {
+							t.Run(fmt.Sprintf("n%d/seed%d", n, seed), func(t *testing.T) {
+								forEach(t, matrix, func(t *testing.T, opts par.Options) {
+									base := k.Gen(n, seed)
+									mut := k.Gen(n, seed)
+									rel.Mutate(mut, rng.New(seed*1729+uint64(n)))
+									if k.Validate != nil {
+										if err := k.Validate(mut); err != nil {
+											t.Fatalf("mutated args invalid: %v", err)
+										}
+									}
+									k.Run(base, opts)
+									k.Run(mut, opts)
+									if err := rel.Relate(base, mut); err != nil {
+										t.Fatal(err)
+									}
+								})
+							})
+						}
+					}
+				})
+			}
+		})
+	}
+}

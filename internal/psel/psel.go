@@ -28,6 +28,18 @@ func Select(xs []int64, k int, opts par.Options) int64 {
 	if k < 0 || k >= len(xs) {
 		panic("psel: k out of range")
 	}
+	if len(xs) <= 4096 {
+		// Upfront sequential path, before the partition loop's pack
+		// closure exists: the closure captures cur by reference, which
+		// would move it to the heap and cost an allocation even for
+		// inputs that never partition (the serve batch slot's common
+		// case, which must stay at 0 allocs/op).
+		a := scratch.AcquireArena(opts.ScratchPool())
+		defer a.Release()
+		buf := scratch.Make[int64](a, len(xs))
+		copy(buf, xs)
+		return quickselect(buf, k)
+	}
 	a := scratch.AcquireArena(opts.ScratchPool())
 	defer a.Release()
 	// cur aliases xs until the first pack; after that it lives in the
@@ -35,7 +47,10 @@ func Select(xs []int64, k int, opts par.Options) int64 {
 	cur := xs
 	var ping, pong []int64
 	owned := false
-	r := rng.New(uint64(len(xs))*0x9E3779B9 + uint64(k) + 1)
+	// The pivot rng is built lazily: inputs at or below the quickselect
+	// cutoff never partition, and allocating an unused rng would break
+	// the serve batch path's zero-allocation steady state.
+	var r *rng.Rand
 	countOpts := opts
 	countOpts.Site = siteSelectCount
 	packOpts := opts
@@ -59,6 +74,9 @@ func Select(xs []int64, k int, opts par.Options) int64 {
 				copy(buf, cur)
 			}
 			return quickselect(buf, k)
+		}
+		if r == nil {
+			r = rng.New(uint64(len(xs))*0x9E3779B9 + uint64(k) + 1)
 		}
 		pivot := medianOfRandom(cur, r)
 		less := par.Count(n, countOpts, func(i int) bool { return cur[i] < pivot })
@@ -97,15 +115,17 @@ func medianOfRandom(xs []int64, r *rng.Rand) int64 {
 }
 
 // quickselect is the sequential in-place baseline (Hoare partition with
-// random pivots). It mutates xs.
+// random pivots). It mutates xs. Pivots come from an inline LCG rather
+// than an rng.Rand so the hot small-input path allocates nothing.
 func quickselect(xs []int64, k int) int64 {
-	r := rng.New(uint64(len(xs)) + 7)
+	state := uint64(len(xs)) + 7
 	lo, hi := 0, len(xs)-1
 	for {
 		if lo == hi {
 			return xs[lo]
 		}
-		p := xs[lo+r.Intn(hi-lo+1)]
+		state = state*6364136223846793005 + 1442695040888963407
+		p := xs[lo+int((state>>33)%uint64(hi-lo+1))]
 		i, j := lo, hi
 		for i <= j {
 			for xs[i] < p {

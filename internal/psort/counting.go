@@ -1,0 +1,88 @@
+package psort
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/par"
+	"repro/internal/scratch"
+)
+
+// siteCountingSort covers the whole count/regenerate pipeline, like
+// the other sort sites.
+var siteCountingSort = adapt.NewSite("psort.CountingSort", adapt.KindWorkers)
+
+// CountingMaxRange is the key spread (max-min) at or above which
+// CountingSort falls back to RadixSort: past it the counting array
+// dwarfs the input and the O(n + range) bound stops being a win.
+const CountingMaxRange = 1 << 20
+
+// parCountRange bounds the spread for the parallel count phase: the
+// per-worker count matrix is p*range ints, so wide-but-allowed ranges
+// count serially instead of burning scratch on mostly-zero rows.
+const parCountRange = 1 << 16
+
+// CountingSort sorts xs in place by key counting: one pass to count
+// occurrences of each value in [min, max], one pass over the counts to
+// regenerate xs in order. O(n + range) with no comparisons — the
+// narrow-key specialist of the sorter roster. Keys spreading wider
+// than CountingMaxRange fall back to RadixSort, so it is safe to call
+// on any input (which is what lets the adaptive variant lattice
+// explore it blindly).
+func CountingSort(xs []int64, opts par.Options) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	opts, m := par.BeginAdaptive(siteCountingSort, n, opts)
+	defer m.Done()
+	min, max := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < min {
+			min = v
+		} else if v > max {
+			max = v
+		}
+	}
+	// Two's-complement subtraction is exact for any int64 pair: the
+	// true spread always fits in uint64.
+	spread := uint64(max) - uint64(min)
+	if spread >= CountingMaxRange {
+		RadixSort(xs, opts)
+		return
+	}
+	k := int(spread) + 1
+	p := workers(opts, n)
+	a := scratch.AcquireArena(opts.ScratchPool())
+	defer a.Release()
+	counts := scratch.MakeZeroed[int](a, k)
+	if p > 1 && n >= 2048 && k <= parCountRange {
+		// Parallel count: per-worker rows, serially folded. The fold is
+		// O(p*k), cheap next to the O(n) passes at these spreads.
+		rows := scratch.MakeZeroed[int](a, p*k)
+		par.ForWorkers(p, opts, func(w int) {
+			c := rows[w*k : (w+1)*k]
+			for i := w * n / p; i < (w+1)*n/p; i++ {
+				c[uint64(xs[i])-uint64(min)]++
+			}
+		})
+		for w := 0; w < p; w++ {
+			row := rows[w*k : (w+1)*k]
+			for v, c := range row {
+				counts[v] += c
+			}
+		}
+	} else {
+		for _, v := range xs {
+			counts[uint64(v)-uint64(min)]++
+		}
+	}
+	// Regenerate: keys are the values, so the sorted output is implied
+	// by the counts alone.
+	i := 0
+	for v, c := range counts {
+		key := min + int64(v)
+		for ; c > 0; c-- {
+			xs[i] = key
+			i++
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package psort
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func TestCountingSortNarrowKeys(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{0, 1, 2, 63, 4096, 1 << 15} {
+		for _, procs := range []int{1, 4} {
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = int64(r.Intn(1 << 16)) // uint16-range keys
+			}
+			want := slices.Clone(xs)
+			slices.Sort(want)
+			CountingSort(xs, par.Options{Procs: procs, SerialCutoff: 1})
+			if !slices.Equal(xs, want) {
+				t.Fatalf("n=%d procs=%d: counting sort wrong", n, procs)
+			}
+		}
+	}
+}
+
+func TestCountingSortNegativeKeys(t *testing.T) {
+	r := rng.New(12)
+	xs := make([]int64, 8192)
+	for i := range xs {
+		xs[i] = int64(r.Intn(1<<12)) - (1 << 11)
+	}
+	want := slices.Clone(xs)
+	slices.Sort(want)
+	CountingSort(xs, par.Options{Procs: 4, SerialCutoff: 1})
+	if !slices.Equal(xs, want) {
+		t.Fatal("counting sort wrong on negative keys")
+	}
+}
+
+func TestCountingSortWideKeysFallsBack(t *testing.T) {
+	// Full-range keys exceed CountingMaxRange; the radix fallback must
+	// still sort correctly (including extreme values whose spread wraps
+	// near the uint64 limit).
+	xs := gen.Ints(1<<14, gen.Uniform, 13)
+	xs[0], xs[1] = -1<<63, 1<<63-1
+	want := slices.Clone(xs)
+	slices.Sort(want)
+	CountingSort(xs, par.Options{Procs: 4, SerialCutoff: 1})
+	if !slices.Equal(xs, want) {
+		t.Fatal("counting sort wrong on wide keys")
+	}
+}
+
+func TestCountingSortBoundarySpread(t *testing.T) {
+	// Spread exactly CountingMaxRange-1 stays on the counting path;
+	// exactly CountingMaxRange falls back. Both must sort.
+	for _, spread := range []int64{CountingMaxRange - 1, CountingMaxRange} {
+		xs := []int64{0, spread, 3, spread - 1, 0, 7}
+		want := slices.Clone(xs)
+		slices.Sort(want)
+		CountingSort(xs, par.Options{Procs: 2, SerialCutoff: 1})
+		if !slices.Equal(xs, want) {
+			t.Fatalf("spread=%d: counting sort wrong: %v", spread, xs)
+		}
+	}
+}

@@ -278,6 +278,7 @@ var Sorters = []Sorter{
 	{"samplesort", SampleSort},
 	{"mergesort", MergeSort},
 	{"radix", RadixSort},
+	{"counting", CountingSort},
 	{"stdlib", func(xs []int64, _ par.Options) {
 		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	}},

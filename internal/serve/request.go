@@ -4,51 +4,46 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/par"
-	"repro/internal/pgraph"
 	"repro/internal/pipeline"
-	"repro/internal/psel"
-	"repro/internal/seq"
 )
 
-// op tags the kernel a request runs.
-type op uint8
-
-const (
-	opSort op = iota
-	opSelect
-	opHistogram
-	opScan
-	opSum
-	opBFS
+// The kernels behind the typed convenience methods, resolved once at
+// init (the kernel package registers its built-ins in its own init,
+// which runs first because serve imports it). Everything the server
+// needs to execute, validate or pipeline-route a request comes from
+// the descriptor — adding a kernel to the registry makes it servable
+// through Call with no edits here.
+var (
+	kernelSort      = kernel.MustLookup("sort")
+	kernelSelect    = kernel.MustLookup("select")
+	kernelHistogram = kernel.MustLookup("histogram")
+	kernelScan      = kernel.MustLookup("scan")
+	kernelSum       = kernel.MustLookup("sum")
+	kernelBFS       = kernel.MustLookup("bfs")
 )
 
-// request is one queued unit of work. Instances are pooled (reqPool)
-// and reused with their done channel; every field except done is
-// overwritten on reuse.
+// request is one queued unit of work: a kernel descriptor plus its
+// argument record. Instances are pooled (reqPool) and reused with
+// their done channel; every field except done is overwritten on
+// reuse.
 type request struct {
-	op         op
-	tenantName string
-	t          *tenant
+	k          *kernel.Kernel
+	tenantName string   // accounting name, stamped at admission (folded names become OverflowTenant)
+	t          *tenant  // queue entry on the server currently holding the request
+	acct       *tenant  // accounting entry on the admitting server; completion credits it
 	next       *request // intrusive tenant-queue link
 
-	xs     []int64
-	dst    []int64         // scan output
-	hist   []int           // histogram output
-	bucket func(int64) int // histogram bucketer
-	k      int             // select rank
-	g      *graph.Graph    // bfs input
-	src    int             // bfs source
-	out    int64           // select/sum result
-	dist   []int32         // bfs result
-	err    error
-	done   chan struct{} // cap 1; signaled exactly once per execution
+	args kernel.Args
+	err  error
+	done chan struct{} // cap 1; signaled exactly once per execution
 }
 
 // getRequest takes a pooled request and stamps its identity fields.
-func (s *Server) getRequest(o op, tenant string, xs []int64) *request {
+func (s *Server) getRequest(k *kernel.Kernel, tenant string, a *kernel.Args) *request {
 	r := s.reqPool.Get().(*request)
-	*r = request{op: o, tenantName: tenant, xs: xs, done: r.done}
+	*r = request{k: k, tenantName: tenant, args: *a, done: r.done}
 	return r
 }
 
@@ -63,43 +58,41 @@ func (s *Server) putRequest(r *request) {
 // batch slot: strictly serial (the batch loop owns the parallelism —
 // one fused fork/join over requests, not one per request) but drawing
 // temporaries from the server's scratch pool like any kernel call.
+// Adaptive stays set: algorithm-variant dispatch is orthogonal to
+// parallelism (a counting sort beats a comparison sort on narrow keys
+// at one worker too), while the grain/policy/worker lattices are
+// inert at Procs 1.
 func (s *Server) serialOpts() par.Options {
 	return par.Options{
 		Procs:        1,
 		SerialCutoff: 1 << 62,
 		Executor:     s.cfg.Executor,
 		Scratch:      s.cfg.Scratch,
+		Adaptive:     s.cfg.Adaptive,
 	}
 }
 
 // runOne executes one request serially inside its batch slot and
 // signals its waiter. Kernel panics (a bucket function out of range,
 // a malformed graph) are confined to the request: they become its
-// error instead of killing a pooled worker.
+// error instead of killing a pooled worker. Completion credits the
+// accounting entry stamped at admission, so a migrated request counts
+// under the tenant entry (and name) it was accepted under no matter
+// where it executes.
 func (s *Server) runOne(r *request) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.err = fmt.Errorf("serve: request panicked: %v", p)
 		}
-		r.t.completed.Add(1)
+		acct := r.acct
+		if acct == nil {
+			acct = r.t
+		}
+		acct.completed.Add(1)
 		s.completed.Add(1)
 		r.done <- struct{}{}
 	}()
-	opts := s.serialOpts()
-	switch r.op {
-	case opSort:
-		seq.Quicksort(r.xs)
-	case opSelect:
-		r.out = psel.Select(r.xs, r.k, opts)
-	case opHistogram:
-		par.HistogramInto(r.hist, r.xs, opts, r.bucket)
-	case opScan:
-		par.ScanInclusive(r.dst, r.xs, opts, 0, func(a, b int64) int64 { return a + b })
-	case opSum:
-		r.out = par.Sum(r.xs, opts)
-	case opBFS:
-		r.dist = pgraph.BFS(r.g, r.src, opts)
-	}
+	r.k.Run(&r.args, s.serialOpts())
 }
 
 // pipelineOpts are the Options the long-request pipeline route runs
@@ -134,49 +127,55 @@ func (s *Server) admitted(tenant string) (*tenant, error) {
 	return t, nil
 }
 
-// sortPipeline sorts xs through the streaming pipeline runtime on the
-// caller's goroutine. Safe to write the sorted stream back into xs:
-// the Sort stage is blocking, so the source has fully drained xs
-// before the sink receives its first chunk.
-func (s *Server) sortPipeline(tenant string, xs []int64) error {
-	t, err := s.admitted(tenant)
+// streamOne runs one long request through the kernel's streaming
+// pipeline adapter on the caller's goroutine, with the same
+// validate-then-admit accounting as the batch path. It works on a
+// local copy of the record: passing the caller's pointer to the
+// Validate/Stream func values would leak it and force every Call
+// site's record onto the heap, breaking the batch path's 0 allocs/op.
+func (s *Server) streamOne(tenantName string, k *kernel.Kernel, a *kernel.Args) error {
+	cp := *a
+	if k.Validate != nil {
+		if err := k.Validate(&cp); err != nil {
+			return err
+		}
+	}
+	t, err := s.admitted(tenantName)
 	if err != nil {
 		return err
 	}
-	off := 0
-	p := pipeline.New(pipeline.Config{Opts: s.pipelineOpts()}).
-		FromSlice(xs).
-		Sort().
-		ToFunc(func(buf []int64) error {
-			off += copy(xs[off:], buf)
-			return nil
-		})
-	err = p.Run()
+	err = k.Stream(&cp, s.pipelineOpts())
+	*a = cp
 	t.completed.Add(1)
 	s.completed.Add(1)
 	return err
 }
 
-// scanPipeline computes inclusive prefix sums of xs into dst through
-// the streaming pipeline. dst may alias xs: the sink's write offset
-// never passes the source's read offset (chunks are copied out of xs
-// in stream order before they reach the sink).
-func (s *Server) scanPipeline(tenant string, dst, xs []int64) error {
-	t, err := s.admitted(tenant)
-	if err != nil {
-		return err
+// Call submits one request for kernel k with argument record a on
+// behalf of tenant and waits for it: the generic entrypoint every
+// typed method wraps, and the only dispatch path — the server knows
+// nothing about individual kernels beyond their descriptors. Results
+// are copied back into a. Inputs at or above the pipeline cutoff
+// route through k.Stream when the kernel has one. Small requests
+// batch with other tenants' and keep the steady state allocation-
+// free: the request record is pooled and a's fields move by value.
+func (s *Server) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
+	if k == nil {
+		return fmt.Errorf("serve: Call with nil kernel")
 	}
-	off := 0
-	p := pipeline.New(pipeline.Config{Opts: s.pipelineOpts()}).
-		FromSlice(xs).
-		RunningSum().
-		ToFunc(func(buf []int64) error {
-			off += copy(dst[off:], buf)
-			return nil
-		})
-	err = p.Run()
-	t.completed.Add(1)
-	s.completed.Add(1)
+	if c := s.cfg.pipelineCutoff(); c > 0 && k.Stream != nil && a.Len() >= c {
+		return s.streamOne(tenant, k, a)
+	}
+	r := s.getRequest(k, tenant, a)
+	if k.Validate != nil {
+		if err := k.Validate(&r.args); err != nil {
+			s.putRequest(r)
+			return err
+		}
+	}
+	err := s.submit(r)
+	*a = r.args
+	s.putRequest(r)
 	return err
 }
 
@@ -184,89 +183,53 @@ func (s *Server) scanPipeline(tenant string, dst, xs []int64) error {
 // inputs of PipelineCutoff elements or more stream through the
 // pipeline runtime instead so they cannot stall a batch.
 func (s *Server) Sort(tenant string, xs []int64) error {
-	if c := s.cfg.pipelineCutoff(); c > 0 && len(xs) >= c {
-		return s.sortPipeline(tenant, xs)
-	}
-	r := s.getRequest(opSort, tenant, xs)
-	err := s.submit(r)
-	s.putRequest(r)
-	return err
+	a := kernel.Args{Xs: xs}
+	return s.Call(tenant, kernelSort, &a)
 }
 
 // Select returns the k-th smallest element of xs (0-based) without
 // modifying xs.
 func (s *Server) Select(tenant string, xs []int64, k int) (int64, error) {
-	if k < 0 || k >= len(xs) {
-		return 0, fmt.Errorf("serve: Select rank %d out of range [0,%d)", k, len(xs))
-	}
-	r := s.getRequest(opSelect, tenant, xs)
-	r.k = k
-	err := s.submit(r)
-	out := r.out
-	s.putRequest(r)
+	a := kernel.Args{Xs: xs, K: k}
+	err := s.Call(tenant, kernelSelect, &a)
 	if err != nil {
 		return 0, err
 	}
-	return out, nil
+	return a.Out, nil
 }
 
 // Histogram counts bucket(x) occurrences over xs into hist (fully
 // overwritten; len(hist) is the bucket count). bucket must return
 // values in [0, len(hist)).
 func (s *Server) Histogram(tenant string, hist []int, xs []int64, bucket func(int64) int) error {
-	if bucket == nil {
-		return fmt.Errorf("serve: Histogram with nil bucket function")
-	}
-	r := s.getRequest(opHistogram, tenant, xs)
-	r.hist = hist
-	r.bucket = bucket
-	err := s.submit(r)
-	s.putRequest(r)
-	return err
+	a := kernel.Args{Xs: xs, Hist: hist, Bucket: bucket}
+	return s.Call(tenant, kernelHistogram, &a)
 }
 
 // Scan writes inclusive prefix sums of xs into dst (len(dst) must
 // equal len(xs); dst may alias xs). Long scans stream through the
 // pipeline runtime.
 func (s *Server) Scan(tenant string, dst, xs []int64) error {
-	if len(dst) != len(xs) {
-		return fmt.Errorf("serve: Scan dst length %d != input length %d", len(dst), len(xs))
-	}
-	if c := s.cfg.pipelineCutoff(); c > 0 && len(xs) >= c {
-		return s.scanPipeline(tenant, dst, xs)
-	}
-	r := s.getRequest(opScan, tenant, xs)
-	r.dst = dst
-	err := s.submit(r)
-	s.putRequest(r)
-	return err
+	a := kernel.Args{Xs: xs, Dst: dst}
+	return s.Call(tenant, kernelScan, &a)
 }
 
 // Sum returns the sum of xs.
 func (s *Server) Sum(tenant string, xs []int64) (int64, error) {
-	r := s.getRequest(opSum, tenant, xs)
-	err := s.submit(r)
-	out := r.out
-	s.putRequest(r)
+	a := kernel.Args{Xs: xs}
+	err := s.Call(tenant, kernelSum, &a)
 	if err != nil {
 		return 0, err
 	}
-	return out, nil
+	return a.Out, nil
 }
 
 // BFS returns hop distances from src in g (-1 when unreachable).
 func (s *Server) BFS(tenant string, g *graph.Graph, src int) ([]int32, error) {
-	if g == nil || src < 0 || src >= g.N() {
-		return nil, fmt.Errorf("serve: BFS source %d out of range", src)
-	}
-	r := s.getRequest(opBFS, tenant, nil)
-	r.g = g
-	r.src = src
-	err := s.submit(r)
-	dist := r.dist
-	s.putRequest(r)
+	a := kernel.Args{G: g, Src: src}
+	err := s.Call(tenant, kernelBFS, &a)
 	if err != nil {
 		return nil, err
 	}
-	return dist, nil
+	return a.Dist, nil
 }

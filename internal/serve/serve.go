@@ -365,6 +365,14 @@ func (s *Server) submit(r *request) error {
 		return ErrClosed
 	}
 	t := s.tenantLocked(r.tenantName)
+	// Stamp the accounting identity at admission. Folding rewrites the
+	// name (t.name is OverflowTenant when MaxTenants bounded it), and
+	// both stamps must survive migration: the name keeps a thief shard's
+	// migrateIn from resurrecting a folded tenant as a fresh per-name
+	// entry, and acct keeps the completion credit on the entry that
+	// counted the acceptance, so merged TenantStats balance exactly.
+	r.tenantName = t.name
+	r.acct = t
 	bound := s.cfg.maxQueue()
 	if s.cfg.executor().Occupancy() >= s.cfg.saturation() {
 		// Backpressure rises with saturation: a busy executor halves
@@ -463,10 +471,12 @@ func (s *Server) migrateOut(buf []*request, max int) []*request {
 // migrateIn enqueues already-admitted requests from another shard onto
 // s's queues, bypassing the admission bound (rejecting work a sibling
 // admitted would turn a load-balancing move into a spurious error).
-// Each request is re-homed onto s's tenant entry of the same name, so
-// it competes in s's round-robin ring like native traffic and its
-// completion is counted under the same tenant name it was accepted
-// under. If s has already been closed — a migration racing a
+// Each request's queue entry is re-homed onto s's tenant entry of the
+// admission-stamped name (OverflowTenant for requests folded at their
+// home shard, so folded tenants are never resurrected by name here),
+// while r.acct still points at the home shard's entry — completion is
+// credited where acceptance was counted, keeping merged TenantStats
+// balanced. If s has already been closed — a migration racing a
 // shutdown — the requests are executed inline on the caller's
 // goroutine instead: a migrated request is never lost and never
 // spuriously rejected.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/scratch"
 )
 
@@ -327,6 +328,14 @@ func (g *Sharded) TenantStats() []TenantStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Call submits one request for any registered kernel on the tenant's
+// home shard — the generic entrypoint the typed methods wrap. Under
+// skew the request may execute on a migrated-to sibling, but its
+// accounting stays with the home shard's tenant entry.
+func (g *Sharded) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
+	return g.home(tenant).Call(tenant, k, a)
 }
 
 // Sort sorts xs in place on the tenant's home shard (or migrated

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/kernel"
 )
 
 // tenantsHomedOn generates count distinct tenant names whose affinity
@@ -251,7 +253,7 @@ func TestShardedFairShareUnderMigration(t *testing.T) {
 func TestMigrateInClosedRunsInline(t *testing.T) {
 	s := New(Config{})
 	xs := []int64{1, 2, 3, 4}
-	r := s.getRequest(opSum, "t", xs)
+	r := s.getRequest(kernelSum, "t", &kernel.Args{Xs: xs})
 	s.mu.Lock()
 	r.t = s.tenantLocked("t")
 	s.mu.Unlock()
@@ -263,8 +265,8 @@ func TestMigrateInClosedRunsInline(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("request migrated into a closed shard never completed")
 	}
-	if r.err != nil || r.out != 10 {
-		t.Fatalf("inline-run result = %d, %v; want 10, nil", r.out, r.err)
+	if r.err != nil || r.args.Out != 10 {
+		t.Fatalf("inline-run result = %d, %v; want 10, nil", r.args.Out, r.err)
 	}
 	st := s.Stats()
 	if st.MigratedIn != 1 || st.Completed != 1 {

@@ -1,43 +1,63 @@
 #!/usr/bin/env bash
-# Serve-benchmark JSON emitter (CI + local): runs the traffic-serving
-# benchmark suite (the client-count sweep across naive/batched/sharded
-# modes plus the skewed-tenant migration pair) with -benchmem and
-# renders the results as a JSON array, one object per sub-benchmark
-# with ns/op, B/op, allocs/op and any custom metrics (reqs/batch,
-# migrated, offhome-frac). Run from anywhere.
+# Benchmark JSON emitter (CI + local): runs benchmark suites with
+# -benchmem and renders each as a JSON array, one object per
+# sub-benchmark with ns/op, B/op, allocs/op and any custom metrics.
+# Two suites today:
 #
-#   BENCH_OUT=path   output file (default BENCH_serve.json)
-#   BENCHTIME=spec   go -benchtime value (default 1000x; CI uses 1x)
+#   BENCH_serve.json    the traffic-serving suite (client-count sweep
+#                       across naive/batched/sharded modes plus the
+#                       skewed-tenant migration pair)
+#   BENCH_kernels.json  the kernel-registry variant suite (sample vs
+#                       radix vs counting vs adaptive dispatch across
+#                       narrow-16-bit and wide nearly-sorted keys)
+#
+# Run from anywhere.
+#
+#   BENCH_OUT=path          serve output file (default BENCH_serve.json)
+#   BENCH_KERNELS_OUT=path  kernel output file (default BENCH_kernels.json)
+#   BENCHTIME=spec          go -benchtime value (default 1000x; CI uses 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_serve.json}"
+serve_out="${BENCH_OUT:-BENCH_serve.json}"
+kernels_out="${BENCH_KERNELS_OUT:-BENCH_kernels.json}"
 benchtime="${BENCHTIME:-1000x}"
 
-raw=$(go test -run '^$' -bench 'BenchmarkTrafficServe' -benchtime "$benchtime" \
-	-benchmem ./internal/serve)
-
-printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
-function flushrow() {
-	if (name == "") return
-	if (!first) printf ",\n"
-	first = 0
-	printf "  {\"name\": \"%s\", \"iterations\": %s", name, iters
-	for (i = 1; i <= nm; i++) printf ", \"%s\": %s", mkey[i], mval[i]
-	printf "}"
-}
-/^Benchmark/ {
-	flushrow()
-	name = $1; iters = $2; nm = 0
-	# Fields come in "<value> <unit>" pairs after the iteration count.
-	for (i = 3; i < NF; i += 2) {
-		unit = $(i + 1)
-		gsub(/\//, "-per-", unit)
-		nm++; mkey[nm] = unit; mval[nm] = $i
+# bench_to_json: parse `go test -bench` benchmem output on stdin into a
+# JSON array on stdout. Fields after the iteration count come in
+# "<value> <unit>" pairs; units keep their benchmark spelling with "/"
+# rewritten ("ns/op" -> "ns-per-op").
+bench_to_json() {
+	awk '
+	function flushrow() {
+		if (name == "") return
+		if (!first) printf ",\n"
+		first = 0
+		printf "  {\"name\": \"%s\", \"iterations\": %s", name, iters
+		for (i = 1; i <= nm; i++) printf ", \"%s\": %s", mkey[i], mval[i]
+		printf "}"
 	}
+	/^Benchmark/ {
+		flushrow()
+		name = $1; iters = $2; nm = 0
+		for (i = 3; i < NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/\//, "-per-", unit)
+			nm++; mkey[nm] = unit; mval[nm] = $i
+		}
+	}
+	BEGIN { first = 1; printf "[\n" }
+	END { flushrow(); printf "\n]\n" }
+	'
 }
-BEGIN { first = 1; printf "[\n" }
-END { flushrow(); printf "\n]\n" }
-' >"$out"
 
-echo "benchjson: $(grep -c '"name"' "$out") benchmarks -> $out (benchtime $benchtime)"
+# run_suite <bench-regex> <package> <outfile>
+run_suite() {
+	local pattern="$1" pkg="$2" out="$3"
+	go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem "$pkg" \
+		| bench_to_json >"$out"
+	echo "benchjson: $(grep -c '"name"' "$out") benchmarks -> $out (benchtime $benchtime)"
+}
+
+run_suite 'BenchmarkTrafficServe' ./internal/serve "$serve_out"
+run_suite 'BenchmarkSort(Narrow16|Wide64)' ./internal/kernel "$kernels_out"
