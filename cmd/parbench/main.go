@@ -13,6 +13,8 @@
 //	parbench -kernel gups        # one kernel through every ladder
 //	parbench -pipeline           # streaming-pipeline traffic demo
 //	parbench -serve              # multi-tenant request-serving demo
+//	parbench -serve -openloop -rate 2000 -slo 10ms
+//	                             # open-loop schedule-driven traffic
 //
 // Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
 // selects the dispatch runtime (shared persistent pool, a dedicated
@@ -24,12 +26,24 @@
 // skewed multi-tenant traffic (one hot tenant, three light ones)
 // through the batched admission-control server (internal/serve) and
 // prints its admission/batching counters, client-observed latency
-// percentiles and the per-tenant fair-share split. A summary line
-// after the experiments reports the executor's steal counters next to
-// the scratch pool's hit/miss/bytes gauges (plus, with -adapt=on, the
+// percentiles and the per-tenant fair-share split; its closed-loop
+// clients retry rejected requests under capped exponential backoff
+// with rng jitter and report retry and error counts per tenant, so
+// the printed percentiles' denominator is always every issued
+// request. -openloop replaces the closed-loop clients with the
+// internal/loadgen arrival-schedule generator (-rate offered req/s,
+// -arrival const|poisson) and prints corrected (intended-arrival) and
+// uncorrected (send-time) percentiles side by side — the honest
+// tail-latency mode. -slo gives every request a deadline budget: the
+// server refuses requests that cannot make it (door prediction or
+// queue expiry) instead of serving them late. A summary line after
+// the experiments reports the executor's steal counters next to the
+// scratch pool's hit/miss/bytes gauges (plus, with -adapt=on, the
 // controller's site/exploration/convergence counters). Unknown flag
 // values are rejected with a usage error, never silently defaulted;
-// -pipeline and -serve are mutually exclusive.
+// -pipeline and -serve are mutually exclusive, and the open-loop
+// knobs require the modes they refine (-openloop needs -serve; -rate
+// and -arrival need -openloop; -slo needs -serve).
 package main
 
 import (
@@ -49,9 +63,11 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/loadgen"
 	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
+	"repro/internal/rng"
 	"repro/internal/scratch"
 	"repro/internal/serve"
 )
@@ -78,6 +94,14 @@ func main() {
 			"run the multi-tenant request-serving traffic demo (batched admission control over mixed sort/histogram/scan/sum requests) and print its throughput/latency-percentile stats instead of experiments")
 		shardsFlag = flag.Int("shards", 0,
 			"with -serve: shard the server into N executor shards with tenant-affinity routing and diffusive migration, and print per-shard stats (0 = unsharded; sharded mode builds its own per-shard executors, so -executor is ignored)")
+		openLoop = flag.Bool("openloop", false,
+			"with -serve: drive open-loop schedule-driven traffic (internal/loadgen) instead of closed-loop clients, and print corrected vs uncorrected latency percentiles side by side")
+		rateFlag = flag.Float64("rate", 0,
+			"with -openloop: offered load in requests per second (default 2000)")
+		arrivalFlag = flag.String("arrival", "",
+			"with -openloop: arrival process, 'const' (fixed spacing) or 'poisson' (bursty; the default)")
+		sloFlag = flag.Duration("slo", 0,
+			"with -serve: per-request deadline budget (e.g. 10ms); requests predicted or observed to miss it are refused with ErrDeadlineExceeded instead of served late (0 = no deadlines)")
 		kernelsFlag = flag.Bool("kernels", false, "list the kernel registry (name, variants, stream/relation wiring) and exit")
 		kernelFlag  = flag.String("kernel", "",
 			"run one registered kernel through every ladder — dispatched one-shot vs serial oracle, each variant, and the serve batch path — and print verified timings instead of experiments")
@@ -92,6 +116,28 @@ func main() {
 	}
 	if *shardsFlag > 0 && !*serveMode {
 		fatalf("-shards requires -serve")
+	}
+	if *openLoop && !*serveMode {
+		fatalf("-openloop requires -serve")
+	}
+	if *sloFlag != 0 && !*serveMode {
+		fatalf("-slo requires -serve")
+	}
+	if *sloFlag < 0 {
+		fatalf("bad -slo %v: want >= 0", *sloFlag)
+	}
+	if *rateFlag != 0 && !*openLoop {
+		fatalf("-rate requires -openloop")
+	}
+	if *rateFlag < 0 {
+		fatalf("bad -rate %v: want > 0", *rateFlag)
+	}
+	if *arrivalFlag != "" && !*openLoop {
+		fatalf("-arrival requires -openloop")
+	}
+	poissonArrivals, arrErr := arrivalFor(*arrivalFlag)
+	if arrErr != nil {
+		fatalf("%v", arrErr)
 	}
 
 	if *list {
@@ -142,7 +188,15 @@ func main() {
 	}
 
 	if *serveMode {
-		if err := runServeDemo(cfg, *shardsFlag, os.Stdout); err != nil {
+		if *openLoop {
+			rate := *rateFlag
+			if rate == 0 {
+				rate = 2000
+			}
+			if err := runOpenLoopDemo(cfg, *shardsFlag, rate, poissonArrivals, *sloFlag, os.Stdout); err != nil {
+				fatalf("serve: %v", err)
+			}
+		} else if err := runServeDemo(cfg, *shardsFlag, *sloFlag, os.Stdout); err != nil {
 			fatalf("serve: %v", err)
 		}
 		printRuntimeStats(cfg)
@@ -232,19 +286,23 @@ type serveFront interface {
 	TenantStats() []serve.TenantStats
 }
 
-// runServeDemo drives multi-tenant request traffic — one hot tenant
-// with 8 clients and three light tenants with 2 each, issuing mixed
-// 2K-element sort/histogram/scan/sum requests plus an occasional long
-// sort that routes through the streaming pipeline — through the
-// request-serving runtime, then prints the server's admission/batching
-// counters, client-observed latency percentiles, request throughput,
-// and the per-tenant fair-share split. With shards > 0 the traffic
-// runs through the sharded server instead (tenants hash to home
-// shards, the diffusive balancer migrates the hot tenant's backlog)
-// and a per-shard stats line is printed. It honors the -executor,
-// -scratch, -adapt, -procs and -quick flags through cfg (sharded mode
-// builds one executor per shard, so cfg.Executor is unused there).
-func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
+// demoFront bundles whichever server flavor a -serve demo built, with
+// the bits both the closed-loop and open-loop drivers need.
+type demoFront struct {
+	front   serveFront
+	single  *serve.Server
+	sharded *serve.Sharded
+	workers int
+	scfg    serve.Config
+}
+
+// buildServeFront constructs a demo server: one batched Server, or a
+// sharded group when shards > 0 (tenants hash to home shards, the
+// diffusive balancer migrates backlog; each shard owns its executor
+// and scratch pool, so cfg.Executor is unused there). slo threads the
+// deadline budget into the admission ladder; maxQueue overrides the
+// per-tenant queue bound (0 = serve's default).
+func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue int) *demoFront {
 	workers := 4
 	if len(cfg.Procs) > 0 {
 		workers = cfg.Procs[len(cfg.Procs)-1]
@@ -253,15 +311,14 @@ func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
 		Executor:       cfg.Executor,
 		Scratch:        cfg.Scratch,
 		Workers:        workers,
-		MaxQueue:       4,       // small bound: lets the hot tenant's backpressure show
-		PipelineCutoff: 1 << 15, // the demo's "long request" threshold
+		MaxQueue:       maxQueue,
+		PipelineCutoff: 1 << 15, // the demos' "long request" threshold
+		SLO:            slo,
 	}
 	if cfg.Adaptive {
 		scfg.Adaptive = adapt.Default()
 	}
-	var srv serveFront
-	var single *serve.Server
-	var sharded *serve.Sharded
+	d := &demoFront{workers: workers, scfg: scfg}
 	if shards > 0 {
 		procs := workers / shards
 		if procs < 1 {
@@ -272,53 +329,141 @@ func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
 		sc.Scratch = nil  // one scratch pool per shard
 		sc.Adaptive = nil // AdaptivePerShard gives each shard its own
 		sc.Workers = procs
-		sharded = serve.NewSharded(serve.ShardedConfig{
+		d.sharded = serve.NewSharded(serve.ShardedConfig{
 			Shards:            shards,
 			ShardProcs:        procs,
 			AdaptivePerShard:  cfg.Adaptive,
-			MigrateHysteresis: 2, // small: the demo queues are bounded at 4 per tenant
+			MigrateHysteresis: 2, // small: the demo queues are shallow
 			Config:            sc,
 		})
-		srv = sharded
-		defer sharded.Close()
+		d.front = d.sharded
 	} else {
-		single = serve.New(scfg)
-		srv = single
-		defer single.Close()
+		d.single = serve.New(scfg)
+		d.front = d.single
 	}
+	return d
+}
+
+func (d *demoFront) close() {
+	if d.sharded != nil {
+		d.sharded.Close()
+	} else {
+		d.single.Close()
+	}
+}
+
+func (d *demoFront) stats() serve.Stats {
+	if d.sharded != nil {
+		return d.sharded.Stats().Aggregate
+	}
+	return d.single.Stats()
+}
+
+// printServeStats prints the admission/batching/deadline counters
+// line plus, for sharded servers, the migration and per-shard lines.
+func (d *demoFront) printServeStats(w io.Writer) {
+	st := d.stats()
+	avg := 0.0
+	if st.Batches > 0 {
+		avg = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	fmt.Fprintf(w, "serve: accepted=%d completed=%d rejected=%d | batches=%d reqs/batch=%.1f maxbatch=%d parallel=%d serial=%d | shed=%d degraded=%d pipelined=%d | dlrej=%d expired=%d\n",
+		st.Accepted, st.Completed, st.Rejected,
+		st.Batches, avg, st.MaxBatch, st.ParallelBatches, st.SerialBatches,
+		st.Shed, st.Degraded, st.Pipelined, st.DeadlineRejected, st.Expired)
+	if d.sharded != nil {
+		sst := d.sharded.Stats()
+		fmt.Fprintf(w, "shards: migrations=%d migrated=%d\n", sst.Migrations, sst.Migrated)
+		for i, ss := range sst.PerShard {
+			fmt.Fprintf(w, "shard %d: accepted=%-6d completed=%-6d batches=%-5d migrated in=%-4d out=%-4d occupancy=%.2f\n",
+				i, ss.Accepted, ss.Completed, ss.Batches, ss.MigratedIn, ss.MigratedOut,
+				d.sharded.Executors().ShardOccupancy(i))
+		}
+	}
+}
+
+// demoTenants is the demo traffic mix: 14 slots over 4 tenants, "hot"
+// holding 8 of them and t1..t3 two each.
+var demoTenants = []string{
+	"hot", "hot", "hot", "hot", "hot", "hot", "hot", "hot",
+	"t1", "t1", "t2", "t2", "t3", "t3",
+}
+
+// demoTenantNames are the distinct names of demoTenants, in print
+// order; demoTenantIdx maps a name back to its slot for the per-tenant
+// retry counters.
+var demoTenantNames = []string{"hot", "t1", "t2", "t3"}
+
+func demoTenantIdx(name string) int {
+	for i, n := range demoTenantNames {
+		if n == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// demoPayload derives the demo's shared 2K-element request payload.
+func demoPayload(n int, seed uint64) []int64 {
+	base := make([]int64, n)
+	for i := range base {
+		base[i] = int64((uint64(i)*2654435761 + seed) % 100003)
+	}
+	return base
+}
+
+// runServeDemo drives closed-loop multi-tenant request traffic — one
+// hot tenant with 8 clients and three light tenants with 2 each,
+// issuing mixed 2K-element sort/histogram/scan/sum requests plus an
+// occasional long sort that routes through the streaming pipeline —
+// through the request-serving runtime, then prints the server's
+// admission/batching counters, client-observed latency percentiles,
+// request throughput, and the per-tenant fair-share split. Rejected
+// requests are retried under capped exponential backoff with rng
+// jitter (a fixed sleep would wake every backpressured client in
+// lockstep and re-flood the door); unexpected errors are counted and
+// reported rather than silently shrinking the sample, so the printed
+// percentiles' denominator is every issued request. With shards > 0
+// the traffic runs through the sharded server instead and per-shard
+// stats lines are printed. It honors the -executor, -scratch, -adapt,
+// -procs and -quick flags through cfg. Closed-loop percentiles
+// understate the tail under saturation (coordinated omission): the
+// -openloop mode exists to print the honest number.
+func runServeDemo(cfg core.Config, shards int, slo time.Duration, w io.Writer) error {
+	// Small queue bound: lets the hot tenant's backpressure show.
+	d := buildServeFront(cfg, shards, slo, 4)
+	defer d.close()
+	srv := d.front
 
 	total := 20000
 	if cfg.Quick {
 		total = 2000
 	}
 	const n = 2048
-	base := make([]int64, n)
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 42
 	}
-	for i := range base {
-		base[i] = int64((uint64(i)*2654435761 + seed) % 100003)
-	}
-	// 14 clients over 4 tenants: "hot" floods with 8, t1..t3 get 2 each.
-	tenants := []string{
-		"hot", "hot", "hot", "hot", "hot", "hot", "hot", "hot",
-		"t1", "t1", "t2", "t2", "t3", "t3",
-	}
+	base := demoPayload(n, seed)
+	const backoffMin, backoffMax = 20 * time.Microsecond, 2 * time.Millisecond
 	var next atomic.Int64
-	var retried atomic.Int64
-	lats := make([][]float64, len(tenants))
+	var retried, errored, deadlined atomic.Int64
+	tenantRetries := make([]atomic.Int64, len(demoTenantNames))
+	lats := make([][]float64, len(demoTenants))
 	var wg sync.WaitGroup
 	start := time.Now()
-	for c, tenant := range tenants {
+	for c, tenant := range demoTenants {
 		wg.Add(1)
 		go func(c int, tenant string) {
 			defer wg.Done()
+			rg := rng.New(seed + uint64(c))
 			xs := make([]int64, n)
 			dst := make([]int64, n)
 			hist := make([]int, 1024)
 			var big []int64 // lazily sized for the occasional long sort
 			bucket := func(v int64) int { return int(uint64(v) % 1024) }
+			tIdx := demoTenantIdx(tenant)
+			backoff := backoffMin
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= total {
@@ -331,7 +476,7 @@ func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
 					switch {
 					case i%512 == 511:
 						if big == nil {
-							big = make([]int64, scfg.PipelineCutoff)
+							big = make([]int64, d.scfg.PipelineCutoff)
 						}
 						for j := range big {
 							big[j] = base[j%n]
@@ -346,20 +491,36 @@ func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
 					default:
 						_, err = srv.Sum(tenant, xs)
 					}
-					if errors.Is(err, serve.ErrRejected) {
+					if errors.Is(err, serve.ErrRejected) || errors.Is(err, serve.ErrDeadlineExceeded) {
 						// Backpressure: back off and retry the same
 						// request — the latency sample keeps accruing,
-						// so the tail reflects the retries.
+						// so the tail reflects the retries. Capped
+						// exponential with equal jitter: half the
+						// window is deterministic, half uniform, so
+						// backpressured clients fan out instead of
+						// waking in lockstep and re-flooding the door.
 						retried.Add(1)
-						time.Sleep(50 * time.Microsecond)
+						tenantRetries[tIdx].Add(1)
+						if errors.Is(err, serve.ErrDeadlineExceeded) {
+							deadlined.Add(1)
+						}
+						time.Sleep(backoff/2 + time.Duration(rg.Uint64n(uint64(backoff)/2+1)))
+						if backoff *= 2; backoff > backoffMax {
+							backoff = backoffMax
+						}
 						continue
 					}
 					if err != nil {
-						return // demo traffic never errors otherwise
+						// Count and move on: a dying client would
+						// silently shrink the sample and flatter every
+						// percentile printed below.
+						errored.Add(1)
+						break
 					}
+					backoff = backoffMin
+					lats[c] = append(lats[c], time.Since(t0).Seconds())
 					break
 				}
-				lats[c] = append(lats[c], time.Since(t0).Seconds())
 			}
 		}(c, tenant)
 	}
@@ -370,42 +531,126 @@ func runServeDemo(cfg core.Config, shards int, w io.Writer) error {
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	var st serve.Stats
-	if sharded != nil {
-		st = sharded.Stats().Aggregate
+	if d.sharded != nil {
 		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), %d shards × W=%d, %d requests\n",
-			sharded.Shards(), sharded.Executors().Shard(0).Procs(), total)
+			d.sharded.Shards(), d.sharded.Executors().Shard(0).Procs(), total)
 	} else {
-		st = single.Stats()
 		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), W=%d, %d requests\n",
-			workers, total)
+			d.workers, total)
 	}
-	avg := 0.0
-	if st.Batches > 0 {
-		avg = float64(st.BatchedRequests) / float64(st.Batches)
-	}
-	fmt.Fprintf(w, "serve: accepted=%d completed=%d rejected=%d (retried=%d) | batches=%d reqs/batch=%.1f maxbatch=%d parallel=%d serial=%d | shed=%d degraded=%d pipelined=%d\n",
-		st.Accepted, st.Completed, st.Rejected, retried.Load(),
-		st.Batches, avg, st.MaxBatch, st.ParallelBatches, st.SerialBatches,
-		st.Shed, st.Degraded, st.Pipelined)
-	if sharded != nil {
-		sst := sharded.Stats()
-		fmt.Fprintf(w, "shards: migrations=%d migrated=%d\n", sst.Migrations, sst.Migrated)
-		for i, ss := range sst.PerShard {
-			fmt.Fprintf(w, "shard %d: accepted=%-6d completed=%-6d batches=%-5d migrated in=%-4d out=%-4d occupancy=%.2f\n",
-				i, ss.Accepted, ss.Completed, ss.Batches, ss.MigratedIn, ss.MigratedOut,
-				sharded.Executors().ShardOccupancy(i))
-		}
-	}
+	d.printServeStats(w)
+	fmt.Fprintf(w, "clients: issued=%d ok=%d errored=%d retried=%d (hot=%d t1=%d t2=%d t3=%d) deadline-refused=%d\n",
+		total, len(all), errored.Load(), retried.Load(),
+		tenantRetries[0].Load(), tenantRetries[1].Load(),
+		tenantRetries[2].Load(), tenantRetries[3].Load(), deadlined.Load())
 	fmt.Fprintf(w, "latency: p50=%s p95=%s p99=%s | throughput=%.0f req/s over %s\n",
 		perf.FormatDuration(perf.Percentile(all, 50)),
 		perf.FormatDuration(perf.Percentile(all, 95)),
 		perf.FormatDuration(perf.Percentile(all, 99)),
 		float64(len(all))/wall.Seconds(), wall.Round(time.Millisecond))
+	printTenantStats(w, srv)
+	return nil
+}
+
+// printTenantStats prints the per-tenant fair-share split including
+// the deadline counters.
+func printTenantStats(w io.Writer, srv serveFront) {
 	for _, ts := range srv.TenantStats() {
-		fmt.Fprintf(w, "tenant %-4s accepted=%-6d completed=%-6d rejected=%d\n",
-			ts.Name, ts.Accepted, ts.Completed, ts.Rejected)
+		fmt.Fprintf(w, "tenant %-4s accepted=%-6d completed=%-6d rejected=%-5d dlrej=%-5d expired=%d\n",
+			ts.Name, ts.Accepted, ts.Completed, ts.Rejected, ts.DeadlineRejected, ts.Expired)
 	}
+}
+
+// runOpenLoopDemo drives the same tenant mix through the server from
+// a fixed open-loop arrival schedule (internal/loadgen): requests
+// fire at their scheduled instants whether or not earlier ones have
+// finished, so a stalled batch cannot slow the offered load down, and
+// every sample carries two latencies — uncorrected (send→done, what a
+// closed-loop client would have measured) and corrected
+// (intended-arrival→done, charging queue delay to the system). Both
+// percentile rows are printed side by side; the corrected row is the
+// honest one and the gap between them is the coordinated-omission
+// error made visible. Open-loop clients never retry: a rejected or
+// deadline-refused arrival is an error by design, counted in the
+// clients line. The queue bound stays at serve's default so queueing
+// (the thing the corrected clock exists to see) is not clipped by the
+// demo's backpressure setting.
+func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, slo time.Duration, w io.Writer) error {
+	d := buildServeFront(cfg, shards, slo, 0)
+	defer d.close()
+	srv := d.front
+
+	total := 20000
+	if cfg.Quick {
+		total = 2000
+	}
+	const n = 2048
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	base := demoPayload(n, seed)
+
+	arrival := "const"
+	var sched loadgen.Schedule
+	if poisson {
+		arrival = "poisson"
+		sched = loadgen.Poisson(total, rate, seed)
+	} else {
+		sched = loadgen.Constant(total, rate)
+	}
+	// Open-loop arrivals overlap, so in-flight requests each need
+	// their own payload buffers (harness overhead, pooled).
+	type bufs struct {
+		xs, dst []int64
+		hist    []int
+	}
+	pool := sync.Pool{New: func() any {
+		return &bufs{xs: make([]int64, n), dst: make([]int64, n), hist: make([]int, 1024)}
+	}}
+	bucket := func(v int64) int { return int(uint64(v) % 1024) }
+	res := loadgen.Run(sched, func(i int) error {
+		bf := pool.Get().(*bufs)
+		defer pool.Put(bf)
+		copy(bf.xs, base)
+		tenant := demoTenants[i%len(demoTenants)]
+		switch i % 4 {
+		case 0:
+			return srv.Sort(tenant, bf.xs)
+		case 1:
+			return srv.Histogram(tenant, bf.hist, bf.xs, bucket)
+		case 2:
+			return srv.Scan(tenant, bf.dst, bf.xs)
+		default:
+			_, err := srv.Sum(tenant, bf.xs)
+			return err
+		}
+	})
+
+	rep := res.Summarize(sched)
+	rejected := res.Failed(func(err error) bool { return errors.Is(err, serve.ErrRejected) })
+	deadlined := res.Failed(func(err error) bool { return errors.Is(err, serve.ErrDeadlineExceeded) })
+	other := rep.Errors - rejected - deadlined
+	if d.sharded != nil {
+		fmt.Fprintf(w, "== open-loop serving demo — 4 tenants (hot-weighted), %d shards × W=%d, %d arrivals at %.0f req/s (%s), slo=%v\n",
+			d.sharded.Shards(), d.sharded.Executors().Shard(0).Procs(), total, rate, arrival, slo)
+	} else {
+		fmt.Fprintf(w, "== open-loop serving demo — 4 tenants (hot-weighted), W=%d, %d arrivals at %.0f req/s (%s), slo=%v\n",
+			d.workers, total, rate, arrival, slo)
+	}
+	d.printServeStats(w)
+	fmt.Fprintf(w, "clients: sent=%d ok=%d rejected=%d deadline-refused=%d errors=%d | offered=%.0f req/s achieved=%.0f req/s over %s\n",
+		rep.Sent, rep.OK, rejected, deadlined, other,
+		rep.OfferedRate, rep.AchievedRate, res.Wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "latency (uncorrected, send->done):    p50=%s p95=%s p99=%s\n",
+		perf.FormatDuration(rep.UncorrectedP50),
+		perf.FormatDuration(rep.UncorrectedP95),
+		perf.FormatDuration(rep.UncorrectedP99))
+	fmt.Fprintf(w, "latency (corrected, intended->done):  p50=%s p95=%s p99=%s  <- the honest tail\n",
+		perf.FormatDuration(rep.CorrectedP50),
+		perf.FormatDuration(rep.CorrectedP95),
+		perf.FormatDuration(rep.CorrectedP99))
+	printTenantStats(w, srv)
 	return nil
 }
 
@@ -432,6 +677,17 @@ func scratchFor(mode string) (*scratch.Pool, error) {
 		return scratch.Off, nil
 	}
 	return nil, fmt.Errorf("bad -scratch %q: want on or off", mode)
+}
+
+// arrivalFor resolves the -arrival flag mode into "poisson?".
+func arrivalFor(mode string) (bool, error) {
+	switch mode {
+	case "poisson", "":
+		return true, nil
+	case "const":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -arrival %q: want const or poisson", mode)
 }
 
 // adaptFor resolves the -adapt flag mode.

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scratch"
@@ -21,6 +22,9 @@ func TestFlagModesRejectUnknownValues(t *testing.T) {
 		}
 		if _, err := executorFor(bad); err == nil {
 			t.Errorf("executorFor(%q) accepted", bad)
+		}
+		if _, err := arrivalFor(bad); err == nil {
+			t.Errorf("arrivalFor(%q) accepted", bad)
 		}
 	}
 }
@@ -50,6 +54,16 @@ func TestFlagModesAcceptKnownValues(t *testing.T) {
 		}
 		e.Close()
 	}
+	// Arrival defaults to poisson; const is the other accepted process.
+	if p, err := arrivalFor(""); err != nil || !p {
+		t.Errorf("arrivalFor(\"\") = %v, %v", p, err)
+	}
+	if p, err := arrivalFor("poisson"); err != nil || !p {
+		t.Errorf("arrivalFor(poisson) = %v, %v", p, err)
+	}
+	if p, err := arrivalFor("const"); err != nil || p {
+		t.Errorf("arrivalFor(const) = %v, %v", p, err)
+	}
 }
 
 // TestPipelineDemo smoke-runs the -pipeline mode at quick size and
@@ -78,7 +92,7 @@ func TestPipelineDemo(t *testing.T) {
 // lines appear with every request accounted for.
 func TestServeDemo(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 0, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, 0, &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -98,7 +112,7 @@ func TestServeDemo(t *testing.T) {
 // request accounted for across shards.
 func TestServeDemoSharded(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 2, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 2, 0, &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -108,6 +122,58 @@ func TestServeDemoSharded(t *testing.T) {
 	for _, want := range []string{"2 shards", "shards: migrations=",
 		"shard 0: accepted=", "shard 1: accepted=", "occupancy=",
 		"latency: p50=", "tenant hot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOpenLoopDemo smoke-runs the -serve -openloop mode at quick size
+// and checks both latency rows (corrected and uncorrected) and the
+// offered/achieved rate accounting appear.
+func TestOpenLoopDemo(t *testing.T) {
+	var buf strings.Builder
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, &buf); err != nil {
+		t.Fatalf("runOpenLoopDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"open-loop serving demo", "(poisson)",
+		"sent=2000", "offered=", "achieved=",
+		"latency (uncorrected", "latency (corrected", "honest tail",
+		"serve: accepted=", "dlrej=", "tenant hot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOpenLoopDemoConstSharded covers the const-arrival schedule and
+// the sharded server in one smoke: the per-shard lines must coexist
+// with the corrected/uncorrected rows.
+func TestOpenLoopDemoConstSharded(t *testing.T) {
+	var buf strings.Builder
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 2, 4000, false, 0, &buf); err != nil {
+		t.Fatalf("runOpenLoopDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 shards", "(const)", "shard 0: accepted=",
+		"latency (corrected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeDemoWithSLO smoke-runs the closed-loop demo with a deadline
+// budget: the run must still drain (retries absorb refusals) and the
+// deadline counters must be reported.
+func TestServeDemoWithSLO(t *testing.T) {
+	var buf strings.Builder
+	if err := runServeDemo(core.Config{Quick: true}, 0, 50*time.Millisecond, &buf); err != nil {
+		t.Fatalf("runServeDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dlrej=", "expired=", "deadline-refused=", "retried="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -132,7 +198,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 25 {
+	if len(all) != 26 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

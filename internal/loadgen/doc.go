@@ -1,0 +1,29 @@
+// Package loadgen is the open-loop traffic generator behind the
+// serving harness's honest tail-latency numbers.
+//
+// A closed-loop client (issue, wait, issue again) cannot observe a
+// stall it is itself stuck behind: while one request is delayed, the
+// client stops sending, so every request that *would* have arrived
+// during the stall — and would have seen the stall's queueing delay —
+// is simply missing from the sample. The printed percentiles are then
+// computed over a survivor population and understate the tail, a
+// measurement bug known as coordinated omission. loadgen fixes it the
+// standard way: request arrival times come from a fixed Schedule drawn
+// before the run (constant-rate or Poisson via internal/rng), the
+// generator fires each request at its scheduled instant regardless of
+// whether earlier ones have finished, and every sample records two
+// latencies — the uncorrected one from the actual send and the
+// corrected one from the *intended* arrival, so delay the harness
+// accumulated while the system was stalled is charged to the system.
+// Result reports both side by side; when they diverge, the corrected
+// column is the one the north-star metric cares about.
+//
+// # Layering
+//
+// loadgen sits beside the harness layers, not under the runtime ones:
+// it depends only on internal/rng (arrival draws) and internal/perf
+// (percentiles), and knows nothing about what a request is — callers
+// pass a func. internal/core (experiment E26) and cmd/parbench
+// (-serve -openloop) drive internal/serve through it; internal/serve
+// never imports it.
+package loadgen

@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+)
+
+func TestConstantSpacing(t *testing.T) {
+	s := Constant(5, 1000) // 1ms apart
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, off := range s.Offsets {
+		want := time.Duration(i) * time.Millisecond
+		if off != want {
+			t.Fatalf("Offsets[%d] = %v, want %v", i, off, want)
+		}
+	}
+	if got := s.OfferedRate(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("OfferedRate = %v", got)
+	}
+	if d := s.Duration(); d != 4*time.Millisecond {
+		t.Fatalf("Duration = %v", d)
+	}
+}
+
+func TestConstantEmptyAndPanics(t *testing.T) {
+	if s := Constant(0, 100); s.Len() != 0 || s.Duration() != 0 || s.OfferedRate() != 0 {
+		t.Fatalf("empty schedule = %+v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Constant accepted rate 0")
+		}
+	}()
+	Constant(1, 0)
+}
+
+func TestPoissonMeanAndMonotone(t *testing.T) {
+	const n, rate = 4096, 500.0
+	s := Poisson(n, rate, 7)
+	if s.Len() != n || s.Offsets[0] != 0 {
+		t.Fatalf("len=%d first=%v", s.Len(), s.Offsets[0])
+	}
+	for i := 1; i < n; i++ {
+		if s.Offsets[i] < s.Offsets[i-1] {
+			t.Fatalf("offsets not monotone at %d", i)
+		}
+	}
+	// Mean inter-arrival over 4095 exponential draws concentrates
+	// tightly around 1/rate (stderr = mean/sqrt(n) ≈ 1.6%).
+	mean := s.Duration().Seconds() / float64(n-1)
+	if math.Abs(mean-1/rate)/(1/rate) > 0.15 {
+		t.Fatalf("mean gap %v, want ~%v", mean, 1/rate)
+	}
+	// Same seed, same schedule; different seed, different bursts.
+	if d := Poisson(n, rate, 7); d.Duration() != s.Duration() {
+		t.Fatal("Poisson not reproducible for equal seeds")
+	}
+	if d := Poisson(n, rate, 8); d.Duration() == s.Duration() {
+		t.Fatal("Poisson identical across seeds")
+	}
+}
+
+func TestRunRecordsEverySample(t *testing.T) {
+	sentinel := errors.New("boom")
+	sched := Constant(40, 20000)
+	res := Run(sched, func(i int) error {
+		if i%4 == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if len(res.Samples) != 40 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	if res.OK() != 30 || res.Failed(nil) != 10 {
+		t.Fatalf("OK=%d Failed=%d", res.OK(), res.Failed(nil))
+	}
+	if got := res.Failed(func(err error) bool { return errors.Is(err, sentinel) }); got != 10 {
+		t.Fatalf("Failed(sentinel) = %d", got)
+	}
+	for i, s := range res.Samples {
+		if s.Intended != sched.Offsets[i] {
+			t.Fatalf("sample %d intended %v, want %v", i, s.Intended, sched.Offsets[i])
+		}
+		if s.Sent < s.Intended || s.Done < s.Sent {
+			t.Fatalf("sample %d out of order: %+v", i, s)
+		}
+		if s.Corrected() < s.Uncorrected() {
+			t.Fatalf("sample %d corrected < uncorrected", i)
+		}
+	}
+	rep := res.Summarize(sched)
+	if rep.Sent != 40 || rep.OK != 30 || rep.Errors != 10 {
+		t.Fatalf("report counts = %+v", rep)
+	}
+	if rep.CorrectedP50 < rep.UncorrectedP50 {
+		t.Fatalf("corrected p50 %v < uncorrected %v", rep.CorrectedP50, rep.UncorrectedP50)
+	}
+}
+
+func TestRunFastServiceKeepsUp(t *testing.T) {
+	// A no-op service at a slack rate: corrected and uncorrected agree
+	// to well under the inter-arrival gap, and nothing queues.
+	sched := Constant(50, 2000) // 500µs apart
+	res := Run(sched, func(int) error { return nil })
+	rep := res.Summarize(sched)
+	if rep.CorrectedP99 > 0.01 {
+		t.Fatalf("unloaded corrected p99 = %v s", rep.CorrectedP99)
+	}
+	if gap := rep.CorrectedP99 - rep.UncorrectedP99; gap > 0.01 {
+		t.Fatalf("unloaded correction gap = %v s", gap)
+	}
+}
+
+// TestCoordinatedOmissionRegression is the harness-methodology pin
+// behind this repo's tail-latency numbers: a closed-loop client
+// measured against a saturated single-server queue reports a p99 near
+// the bare service time, while an open-loop schedule offering the SAME
+// load sees the queueing delay the closed-loop client was structurally
+// unable to observe. If this test fails, the corrected-latency path
+// has regressed to closed-loop semantics and every percentile the
+// harness prints is suspect.
+func TestCoordinatedOmissionRegression(t *testing.T) {
+	// Service: one request at a time, 1ms each — a 1000 req/s server.
+	const svc = time.Millisecond
+	var mu sync.Mutex
+	serve := func() {
+		mu.Lock()
+		time.Sleep(svc)
+		mu.Unlock()
+	}
+
+	// Closed loop at full throttle: issues back-to-back, so it offers
+	// exactly the server's capacity and each measurement sees only its
+	// own service time — never the backlog its own stall created.
+	const n = 150
+	closed := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		serve()
+		closed = append(closed, time.Since(t0).Seconds())
+	}
+	closedP99 := perf.Percentile(closed, 99)
+
+	// Open loop at 2x capacity: the backlog grows linearly through the
+	// run, and charging latency from the intended arrival exposes it.
+	sched := Constant(n, 2000)
+	res := Run(sched, func(int) error { serve(); return nil })
+	rep := res.Summarize(sched)
+
+	if rep.CorrectedP99 < rep.UncorrectedP99 {
+		t.Fatalf("corrected p99 %v < uncorrected %v", rep.CorrectedP99, rep.UncorrectedP99)
+	}
+	// The honest number must dwarf the closed-loop one. The backlog at
+	// the end of the run is ~n/2 requests ≈ 75ms of queue, so even
+	// with heavy sleep jitter 3x (vs ~1ms closed) is a wide margin.
+	if rep.CorrectedP99 < 3*closedP99 {
+		t.Fatalf("corrected open-loop p99 %.4fs does not dominate closed-loop p99 %.4fs: coordinated omission is back",
+			rep.CorrectedP99, closedP99)
+	}
+	// And the uncorrected open-loop column must not be the honest one:
+	// it differs from corrected by the very delay closed loops omit.
+	if rep.CorrectedP99 < 2*rep.UncorrectedP99 {
+		t.Logf("note: correction gap modest (corr %.4fs, uncorr %.4fs)", rep.CorrectedP99, rep.UncorrectedP99)
+	}
+}

@@ -126,10 +126,59 @@ func TestThroughputFormat(t *testing.T) {
 		{0.0015, "1.5ms"},
 		{0.0000015, "1.5µs"},
 		{0.0000000015, "1.5ns"},
+		{1.5e-10, "0.15ns"}, // sub-ns keeps the ns unit, no underflow
+		{0, "0ns"},
+		{-0.0015, "-1.5ms"}, // sign preserved, unit from the magnitude
+		{-2, "-2s"},
 	} {
 		if got := FormatDuration(tc.sec); got != tc.want {
 			t.Fatalf("FormatDuration(%v) = %q, want %q", tc.sec, got, tc.want)
 		}
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank contract that the
+// latency tables and loadgen reports lean on: exact boundary behavior
+// at q=0/100, the textbook ranks in between, and no mutation or
+// sorting of the caller's sample.
+func TestPercentileNearestRank(t *testing.T) {
+	if p := Percentile(nil, 99); p != 0 {
+		t.Fatalf("empty Percentile = %v", p)
+	}
+	if p := Percentile([]float64{7}, 50); p != 7 {
+		t.Fatalf("single Percentile = %v", p)
+	}
+	xs := []float64{40, 10, 30, 20} // unsorted on purpose
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0, 10},   // q<=0 is the minimum
+		{-5, 10},  // negative clamps to the minimum too
+		{25, 10},  // ceil(.25*4)=1 -> first
+		{50, 20},  // ceil(.50*4)=2 -> second
+		{75, 30},  // ceil(.75*4)=3 -> third
+		{99, 40},  // ceil(.99*4)=4 -> last
+		{100, 40}, // q=100 is the maximum
+		{150, 40}, // overshoot clamps to the maximum
+	} {
+		if got := Percentile(xs, tc.q); got != tc.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if xs[0] != 40 || xs[1] != 10 || xs[2] != 30 || xs[3] != 20 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+// TestSummarizeSingleCI pins that a one-sample summary reports zero
+// spread rather than NaN — the divide-by-(n-1) edge.
+func TestSummarizeSingleCI(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Stddev != 0 || s.CI95 != 0 {
+		t.Fatalf("single-sample Summary = %+v", s)
+	}
+	if math.IsNaN(s.Stddev) || math.IsNaN(s.CI95) {
+		t.Fatal("single-sample spread must be 0, not NaN")
 	}
 }
 

@@ -153,7 +153,13 @@ func Throughput(items int, seconds float64) float64 {
 }
 
 // FormatDuration renders seconds compactly for tables (e.g. "1.23ms").
+// Negative values keep their sign with the magnitude's unit — they show
+// up when a corrected latency is differenced against an uncorrected
+// one, and a raw "-1.5e+06µs" would garble the table.
 func FormatDuration(seconds float64) string {
+	if seconds < 0 {
+		return "-" + FormatDuration(-seconds)
+	}
 	switch {
 	case seconds >= 1:
 		return fmt.Sprintf("%.3gs", seconds)

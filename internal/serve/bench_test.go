@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/loadgen"
 	"repro/internal/par"
 	"repro/internal/psort"
 	"repro/internal/scratch"
@@ -162,6 +164,87 @@ func benchTrafficServe(b *testing.B, mode string, clients int) {
 		}
 		b.ReportMetric(float64(st.Migrated), "migrated")
 	}
+}
+
+// BenchmarkTrafficServeOpenLoop is the coordinated-omission-free half
+// of the traffic suite: b.N mixed requests arrive on a fixed open-loop
+// schedule (constant-rate or Poisson-bursty) instead of from
+// closed-loop retry clients, so a stalled batch cannot slow the
+// offered load down. ns/op tracks the schedule (~1/rate) and is not
+// the interesting number; the custom metrics are: p99corr-ns is the
+// honest tail (latency charged from the intended arrival), p99uncorr-ns
+// is what a send-time clock would claim, and their ratio is the size
+// of the coordinated-omission lie at this load. The slo=on variant
+// adds a deadline budget and reports how many requests the door and
+// the dispatcher refused instead of serving late.
+func BenchmarkTrafficServeOpenLoop(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		poisson bool
+		slo     time.Duration
+	}{
+		{"arrival=const/slo=off", false, 0},
+		{"arrival=poisson/slo=off", true, 0},
+		{"arrival=poisson/slo=on", true, 2 * time.Millisecond},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchTrafficOpenLoop(b, bc.poisson, bc.slo)
+		})
+	}
+}
+
+// openLoopRate is the offered load of the open-loop benchmark in
+// requests per second — chosen to stress the 4-worker server without
+// stretching a 1000x run past a fraction of a second of schedule.
+const openLoopRate = 5000.0
+
+// benchTrafficOpenLoop fires b.N schedule-driven mixed requests at a
+// batched server and reports corrected vs uncorrected tails.
+func benchTrafficOpenLoop(b *testing.B, poisson bool, slo time.Duration) {
+	const n = 2 << 10
+	base := randInts(n, 42)
+	e := exec.New(trafficWorkers)
+	defer e.Close()
+	s := New(Config{Executor: e, Scratch: scratch.New(), Workers: trafficWorkers,
+		BatchWindow: 200 * time.Microsecond, SLO: slo})
+	defer s.Close()
+
+	var sched loadgen.Schedule
+	if poisson {
+		sched = loadgen.Poisson(b.N, openLoopRate, 42)
+	} else {
+		sched = loadgen.Constant(b.N, openLoopRate)
+	}
+	// Open-loop arrivals overlap, so each in-flight request needs its
+	// own payload buffers; the pool is harness overhead, not a serve
+	// allocation.
+	type bufs struct {
+		xs   []int64
+		hist []int
+	}
+	pool := sync.Pool{New: func() any {
+		return &bufs{xs: make([]int64, n), hist: make([]int, 1024)}
+	}}
+	bucket := func(v int64) int { return int(uint64(v) % 1024) }
+
+	b.ResetTimer()
+	res := loadgen.Run(sched, func(i int) error {
+		bf := pool.Get().(*bufs)
+		defer pool.Put(bf)
+		copy(bf.xs, base)
+		tenant := string(rune('a' + i%4))
+		if i%2 == 0 {
+			return s.Sort(tenant, bf.xs)
+		}
+		return s.Histogram(tenant, bf.hist, bf.xs, bucket)
+	})
+	b.StopTimer()
+
+	rep := res.Summarize(sched)
+	b.ReportMetric(rep.CorrectedP99*1e9, "p99corr-ns")
+	b.ReportMetric(rep.UncorrectedP99*1e9, "p99uncorr-ns")
+	deadline := res.Failed(func(err error) bool { return errors.Is(err, ErrDeadlineExceeded) })
+	b.ReportMetric(float64(deadline), "deadline-refused")
 }
 
 // BenchmarkTrafficServeSkew is the worst case for affinity routing:

@@ -44,6 +44,20 @@
 // caller's goroutine, so the batch path stays reserved for the small
 // requests that benefit from it.
 //
+// With Config.SLO set, a deadline rung joins the admission ladder.
+// The door refuses a request with ErrDeadlineExceeded when the
+// queue-depth-predicted wait — depth times a dispatcher-owned EWMA of
+// per-request batch service time — already exceeds the budget, so
+// callers learn in microseconds instead of after queueing. Every
+// admitted request carries a deadline stamp, and batch formation
+// expires stamped requests whose budget lapsed while queued (counted
+// Expired, never occupying a batch slot). Stamps ride migrated
+// requests, so a thief shard with no SLO of its own still enforces a
+// home shard's budget, charging the expiry to the admitting tenant
+// entry. Refusing fast bounds the corrected tail latency that the
+// open-loop harness (internal/loadgen, which serve never imports)
+// makes visible.
+//
 // Layering: serve sits above internal/exec (occupancy gauge, pooled
 // fork/join), internal/scratch (request temporaries), internal/adapt
 // (the batch site), internal/pipeline (long-request route) and the

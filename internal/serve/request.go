@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/kernel"
@@ -34,6 +35,11 @@ type request struct {
 	t          *tenant  // queue entry on the server currently holding the request
 	acct       *tenant  // accounting entry on the admitting server; completion credits it
 	next       *request // intrusive tenant-queue link
+
+	// deadline is the SLO stamp set at admission (zero when the
+	// admitting server has no SLO). It rides the struct through
+	// migration, so a thief shard enforces the home shard's budget.
+	deadline time.Time
 
 	args kernel.Args
 	err  error

@@ -14,8 +14,9 @@ import (
 	"repro/internal/scratch"
 )
 
-// Admission errors. Both are sentinel values: callers retry (or back
-// off) on ErrRejected and give up on ErrClosed.
+// Admission errors. All are sentinel values: callers retry (or back
+// off) on ErrRejected and ErrDeadlineExceeded and give up on
+// ErrClosed.
 var (
 	// ErrClosed reports a request submitted after Close.
 	ErrClosed = errors.New("serve: server closed")
@@ -24,6 +25,15 @@ var (
 	// and the request was not enqueued. The caller owns the retry
 	// policy; the server never blocks admission on a full queue.
 	ErrRejected = errors.New("serve: request rejected (tenant queue full)")
+	// ErrDeadlineExceeded reports the deadline rung of the admission
+	// ladder (Config.SLO): either the queue-depth-predicted wait at
+	// the door already exceeded the request's SLO budget, so it was
+	// refused before enqueueing (queueing it would only add a
+	// guaranteed-late request in front of ones that can still make
+	// it), or the request expired while queued and the dispatcher
+	// dropped it before batching rather than spend a batch slot on an
+	// answer nobody is waiting for.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
 )
 
 // siteBatch is the adaptive call site of the fused batch loop: the
@@ -82,6 +92,19 @@ type Config struct {
 	// are shed to serial execution and admission bounds tighten;
 	// <= 0 means DefaultSaturation.
 	Saturation float64
+	// SLO, when positive, is the per-request deadline budget: every
+	// admitted request is stamped with deadline = now + SLO, and the
+	// ladder gains its deadline rung. At the door, a request whose
+	// predicted wait — queue depth times the dispatcher's EWMA of
+	// per-request batch service time — already exceeds the budget is
+	// refused with ErrDeadlineExceeded instead of queueing to fail.
+	// On the queue, a request whose deadline passes before batching
+	// is dropped by the dispatcher (again ErrDeadlineExceeded)
+	// without consuming a batch slot. Stamps live on the request, so
+	// they survive shard migration: a thief shard honors the home
+	// shard's budget whatever its own SLO setting. 0 disables
+	// deadlines (every request waits as long as it takes).
+	SLO time.Duration
 
 	// stealIdle and overflow are the diffusive balancer's hooks, set
 	// only by Sharded (same package). stealIdle is invoked by the
@@ -183,12 +206,14 @@ func (c Config) workers() int {
 // intrusive through request.next; all fields except the counters are
 // guarded by the server mutex.
 type tenant struct {
-	name       string
-	head, tail *request
-	qlen       int
-	accepted   atomic.Int64
-	rejected   atomic.Int64
-	completed  atomic.Int64
+	name             string
+	head, tail       *request
+	qlen             int
+	accepted         atomic.Int64
+	rejected         atomic.Int64
+	completed        atomic.Int64
+	deadlineRejected atomic.Int64
+	expired          atomic.Int64
 }
 
 // Stats is a snapshot of a server's admission and batching counters.
@@ -216,6 +241,13 @@ type Stats struct {
 	// Pipelined counts long requests routed through the streaming
 	// pipeline runtime instead of the batch path.
 	Pipelined int64
+	// DeadlineRejected counts requests refused at the door because
+	// the queue-depth-predicted wait already exceeded their SLO
+	// budget; Expired counts requests that outlived their deadline on
+	// the queue and were dropped before batching. Both finish with
+	// ErrDeadlineExceeded and neither is included in Completed, so at
+	// drain Accepted == Completed + Expired.
+	DeadlineRejected, Expired int64
 	// MigratedIn and MigratedOut count requests the diffusive shard
 	// balancer moved onto and off this server's queues (always zero
 	// for a standalone Server). A migrated request is Accepted on its
@@ -225,10 +257,14 @@ type Stats struct {
 }
 
 // TenantStats is one tenant's share of the admission counters,
-// reported by Server.TenantStats in name order.
+// reported by Server.TenantStats in name order. DeadlineRejected and
+// Expired follow the same home-entry accounting as the other
+// counters: an expired migrated request is charged to the entry that
+// admitted it.
 type TenantStats struct {
 	Name                          string
 	Accepted, Rejected, Completed int64
+	DeadlineRejected, Expired     int64
 }
 
 // Server is the multi-tenant request-serving runtime. Create one with
@@ -250,9 +286,19 @@ type Server struct {
 
 	reqPool sync.Pool
 
-	accepted        atomic.Int64
-	rejected        atomic.Int64
-	completed       atomic.Int64
+	accepted         atomic.Int64
+	rejected         atomic.Int64
+	completed        atomic.Int64
+	deadlineRejected atomic.Int64
+	expired          atomic.Int64
+	// svcNanos is the dispatcher-maintained EWMA of per-request batch
+	// service time in nanoseconds — wall time of a batch over its
+	// size, so batch parallelism is already folded in. It is the
+	// door's wait predictor: a request entering behind q queued
+	// requests waits roughly q*svcNanos. Written only by the
+	// dispatcher, read by submitters; 0 until the first batch
+	// completes (the door admits optimistically while cold).
+	svcNanos        atomic.Int64
 	batches         atomic.Int64
 	batchedReqs     atomic.Int64
 	maxBatch        atomic.Int64
@@ -300,20 +346,22 @@ func (s *Server) Stats() Stats {
 	n := len(s.tenants)
 	s.mu.Unlock()
 	return Stats{
-		Tenants:         n,
-		Accepted:        s.accepted.Load(),
-		Rejected:        s.rejected.Load(),
-		Completed:       s.completed.Load(),
-		Batches:         s.batches.Load(),
-		BatchedRequests: s.batchedReqs.Load(),
-		MaxBatch:        s.maxBatch.Load(),
-		ParallelBatches: s.parallelBatches.Load(),
-		SerialBatches:   s.serialBatches.Load(),
-		Shed:            s.shed.Load(),
-		Degraded:        s.degraded.Load(),
-		Pipelined:       s.pipelined.Load(),
-		MigratedIn:      s.migratedIn.Load(),
-		MigratedOut:     s.migratedOut.Load(),
+		Tenants:          n,
+		Accepted:         s.accepted.Load(),
+		Rejected:         s.rejected.Load(),
+		Completed:        s.completed.Load(),
+		Batches:          s.batches.Load(),
+		BatchedRequests:  s.batchedReqs.Load(),
+		MaxBatch:         s.maxBatch.Load(),
+		ParallelBatches:  s.parallelBatches.Load(),
+		SerialBatches:    s.serialBatches.Load(),
+		Shed:             s.shed.Load(),
+		Degraded:         s.degraded.Load(),
+		Pipelined:        s.pipelined.Load(),
+		DeadlineRejected: s.deadlineRejected.Load(),
+		Expired:          s.expired.Load(),
+		MigratedIn:       s.migratedIn.Load(),
+		MigratedOut:      s.migratedOut.Load(),
 	}
 }
 
@@ -323,10 +371,12 @@ func (s *Server) TenantStats() []TenantStats {
 	out := make([]TenantStats, 0, len(s.tenants))
 	for _, t := range s.tenants {
 		out = append(out, TenantStats{
-			Name:      t.name,
-			Accepted:  t.accepted.Load(),
-			Rejected:  t.rejected.Load(),
-			Completed: t.completed.Load(),
+			Name:             t.name,
+			Accepted:         t.accepted.Load(),
+			Rejected:         t.rejected.Load(),
+			Completed:        t.completed.Load(),
+			DeadlineRejected: t.deadlineRejected.Load(),
+			Expired:          t.expired.Load(),
 		})
 	}
 	s.mu.Unlock()
@@ -385,6 +435,20 @@ func (s *Server) submit(r *request) error {
 		t.rejected.Add(1)
 		s.rejected.Add(1)
 		return ErrRejected
+	}
+	if slo := s.cfg.SLO; slo > 0 {
+		// Deadline rung: predict this request's completion as (queued
+		// ahead + itself) times the EWMA of per-request batch service
+		// time. A request that already cannot make its budget is
+		// refused at the door — queueing it would burn queue bound and
+		// dispatcher time on an answer that is late by construction.
+		if per := s.svcNanos.Load(); per > 0 && int64(s.queued+1)*per > int64(slo) {
+			s.mu.Unlock()
+			t.deadlineRejected.Add(1)
+			s.deadlineRejected.Add(1)
+			return ErrDeadlineExceeded
+		}
+		r.deadline = time.Now().Add(slo)
 	}
 	r.t = t
 	r.next = nil
@@ -487,7 +551,12 @@ func (s *Server) migrateIn(rs []*request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		now := time.Now()
 		for _, r := range rs {
+			if !r.deadline.IsZero() && now.After(r.deadline) {
+				s.expireOne(r)
+				continue
+			}
 			s.runOne(r)
 		}
 		s.migratedIn.Add(int64(len(rs)))
@@ -516,20 +585,56 @@ func (s *Server) migrateIn(rs []*request) {
 // round-robin turn, starting where the previous batch left off. This
 // is the fair-share mechanism: a tenant with one queued request is
 // served within one turn of the ring no matter how deep any other
-// tenant's backlog is.
+// tenant's backlog is. Requests whose deadline passed while queued
+// are expired here instead of batched: they complete immediately with
+// ErrDeadlineExceeded and do not consume a batch slot, so an expired
+// backlog drains at pointer-pop speed rather than at service speed.
+// The check reads the request's own stamp, not cfg.SLO, so a migrated
+// request's home-shard budget is honored on whichever shard forms the
+// batch; the time.Now is taken lazily so deadline-free servers never
+// pay for it.
 func (s *Server) formBatchLocked(batch []*request) []*request {
 	maxBatch := s.cfg.maxBatch()
+	var now time.Time
 	for len(batch) < maxBatch && len(s.active) > 0 {
 		if s.rr >= len(s.active) {
 			s.rr = 0
 		}
 		r, emptied := s.popLocked(s.rr)
+		if !r.deadline.IsZero() {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if now.After(r.deadline) {
+				s.expireOne(r)
+				if !emptied {
+					s.rr++
+				}
+				continue
+			}
+		}
 		batch = append(batch, r)
 		if !emptied {
 			s.rr++ // tenant still queued: move past it this round
 		}
 	}
 	return batch
+}
+
+// expireOne completes a deadline-expired request without executing
+// it: the waiter gets ErrDeadlineExceeded and the expiry is charged
+// to the accounting entry that admitted the request (its home shard's
+// tenant when migrated). Called with or without s.mu held — it only
+// touches atomics and the request's own fields.
+func (s *Server) expireOne(r *request) {
+	r.err = ErrDeadlineExceeded
+	acct := r.acct
+	if acct == nil {
+		acct = r.t
+	}
+	acct.expired.Add(1)
+	s.expired.Add(1)
+	r.done <- struct{}{}
 }
 
 // awaitWindow lets a batch accumulate: it returns once the queue
@@ -620,23 +725,34 @@ func (s *Server) execute(batch []*request) {
 			workers = max(1, scaled)
 		}
 	}
+	start := time.Now()
 	if n == 1 || workers == 1 {
 		s.serialBatches.Add(1)
 		for _, r := range batch {
 			s.runOne(r)
 		}
-		return
+	} else {
+		s.parallelBatches.Add(1)
+		opts := par.Options{
+			Procs:        workers,
+			Policy:       par.Dynamic, // request costs are skewed; balance them
+			Grain:        1,
+			SerialCutoff: 1,
+			Executor:     s.cfg.Executor,
+			Scratch:      s.cfg.Scratch,
+			Adaptive:     s.cfg.Adaptive,
+			Site:         siteBatch,
+		}
+		par.For(n, opts, func(i int) { s.runOne(batch[i]) })
 	}
-	s.parallelBatches.Add(1)
-	opts := par.Options{
-		Procs:        workers,
-		Policy:       par.Dynamic, // request costs are skewed; balance them
-		Grain:        1,
-		SerialCutoff: 1,
-		Executor:     s.cfg.Executor,
-		Scratch:      s.cfg.Scratch,
-		Adaptive:     s.cfg.Adaptive,
-		Site:         siteBatch,
+	// Fold this batch's per-request service time into the door's wait
+	// predictor. Single writer (the dispatcher), so a plain
+	// load/store EWMA is race-free; alpha 1/4 forgets a shed or
+	// degraded batch within a few normal ones.
+	per := int64(time.Since(start)) / int64(n)
+	if old := s.svcNanos.Load(); old == 0 {
+		s.svcNanos.Store(per)
+	} else {
+		s.svcNanos.Store(old + (per-old)/4)
 	}
-	par.For(n, opts, func(i int) { s.runOne(batch[i]) })
 }

@@ -298,6 +298,8 @@ func (g *Sharded) Stats() ShardedStats {
 		a.Shed += ss.Shed
 		a.Degraded += ss.Degraded
 		a.Pipelined += ss.Pipelined
+		a.DeadlineRejected += ss.DeadlineRejected
+		a.Expired += ss.Expired
 		a.MigratedIn += ss.MigratedIn
 		a.MigratedOut += ss.MigratedOut
 	}
@@ -319,6 +321,8 @@ func (g *Sharded) TenantStats() []TenantStats {
 			cur.Accepted += ts.Accepted
 			cur.Rejected += ts.Rejected
 			cur.Completed += ts.Completed
+			cur.DeadlineRejected += ts.DeadlineRejected
+			cur.Expired += ts.Expired
 			m[ts.Name] = cur
 		}
 	}

@@ -102,8 +102,8 @@ type (
 	Server = serve.Server
 	// ServerConfig shapes a Server (worker count, batch bounds and
 	// window, per-tenant queue bound, load thresholds, pipeline
-	// cutoff, and the executor/scratch/adaptive runtimes it serves
-	// on).
+	// cutoff, the per-request SLO deadline budget, and the
+	// executor/scratch/adaptive runtimes it serves on).
 	ServerConfig = serve.Config
 	// ServerStats is a snapshot of a server's admission and batching
 	// counters.
@@ -135,6 +135,12 @@ var (
 	// bounded queue is full (the bound tightens while the executor is
 	// saturated) and the request was not enqueued.
 	ErrRequestRejected = serve.ErrRejected
+	// ErrRequestDeadlineExceeded reports a deadline refusal under
+	// ServerConfig.SLO: either the door predicted the queue wait would
+	// blow the request's budget (refused before enqueue), or the
+	// budget lapsed while the request waited and the dispatcher
+	// expired it at batch formation instead of serving it late.
+	ErrRequestDeadlineExceeded = serve.ErrDeadlineExceeded
 )
 
 // Scheduling policies.

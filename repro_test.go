@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadeSum(t *testing.T) {
@@ -98,7 +99,7 @@ func TestFacadeMatMulJacobi(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 25 || ids[0] != "E1" {
+	if len(ids) != 26 || ids[0] != "E1" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	var buf bytes.Buffer
@@ -256,6 +257,28 @@ func ExampleNewServer() {
 	}
 	fmt.Println(xs, median, srv.Stats().Completed)
 	// Output: [1 2 3 4 5] 7 2
+}
+
+// TestFacadeServerSLO pins the deadline surface of the public API: a
+// ServerConfig.SLO server serves a healthy request normally, and the
+// exported sentinel matches the one the serve layer returns.
+func TestFacadeServerSLO(t *testing.T) {
+	srv := NewServer(ServerConfig{SLO: time.Second})
+	defer srv.Close()
+	xs := []int64{5, 3, 1, 4, 2}
+	if err := srv.Sort("tenant-a", xs); err != nil {
+		t.Fatalf("sort under SLO: %v", err)
+	}
+	if xs[0] != 1 || xs[4] != 5 {
+		t.Fatalf("sorted = %v", xs)
+	}
+	st := srv.Stats()
+	if st.DeadlineRejected != 0 || st.Expired != 0 {
+		t.Fatalf("healthy request tripped deadlines: %+v", st)
+	}
+	if ErrRequestDeadlineExceeded == nil || ErrRequestDeadlineExceeded.Error() == "" {
+		t.Fatal("ErrRequestDeadlineExceeded not exported")
+	}
 }
 
 func TestFacadeShardedServer(t *testing.T) {

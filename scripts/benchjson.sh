@@ -2,24 +2,31 @@
 # Benchmark JSON emitter (CI + local): runs benchmark suites with
 # -benchmem and renders each as a JSON array, one object per
 # sub-benchmark with ns/op, B/op, allocs/op and any custom metrics.
-# Two suites today:
+# Three suites today:
 #
-#   BENCH_serve.json    the traffic-serving suite (client-count sweep
-#                       across naive/batched/sharded modes plus the
-#                       skewed-tenant migration pair)
-#   BENCH_kernels.json  the kernel-registry variant suite (sample vs
-#                       radix vs counting vs adaptive dispatch across
-#                       narrow-16-bit and wide nearly-sorted keys)
+#   BENCH_serve.json           the traffic-serving suite (client-count
+#                              sweep across naive/batched/sharded modes
+#                              plus the skewed-tenant migration pair)
+#   BENCH_serve_openloop.json  the open-loop traffic suite (const and
+#                              Poisson schedules, slo off/on; p99corr-ns
+#                              vs p99uncorr-ns is the coordinated-
+#                              omission gap, tracked per run)
+#   BENCH_kernels.json         the kernel-registry variant suite (sample
+#                              vs radix vs counting vs adaptive dispatch
+#                              across narrow-16-bit and wide
+#                              nearly-sorted keys)
 #
 # Run from anywhere.
 #
-#   BENCH_OUT=path          serve output file (default BENCH_serve.json)
-#   BENCH_KERNELS_OUT=path  kernel output file (default BENCH_kernels.json)
-#   BENCHTIME=spec          go -benchtime value (default 1000x; CI uses 1x)
+#   BENCH_OUT=path           serve output file (default BENCH_serve.json)
+#   BENCH_OPENLOOP_OUT=path  open-loop output file (default BENCH_serve_openloop.json)
+#   BENCH_KERNELS_OUT=path   kernel output file (default BENCH_kernels.json)
+#   BENCHTIME=spec           go -benchtime value (default 1000x; CI uses 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 serve_out="${BENCH_OUT:-BENCH_serve.json}"
+openloop_out="${BENCH_OPENLOOP_OUT:-BENCH_serve_openloop.json}"
 kernels_out="${BENCH_KERNELS_OUT:-BENCH_kernels.json}"
 benchtime="${BENCHTIME:-1000x}"
 
@@ -59,5 +66,8 @@ run_suite() {
 	echo "benchjson: $(grep -c '"name"' "$out") benchmarks -> $out (benchtime $benchtime)"
 }
 
-run_suite 'BenchmarkTrafficServe' ./internal/serve "$serve_out"
+# The closed-loop pattern is anchored so it does not also match the
+# open-loop suite, which gets its own file.
+run_suite 'BenchmarkTrafficServe(Skew)?$' ./internal/serve "$serve_out"
+run_suite 'BenchmarkTrafficServeOpenLoop$' ./internal/serve "$openloop_out"
 run_suite 'BenchmarkSort(Narrow16|Wide64)' ./internal/kernel "$kernels_out"
