@@ -63,10 +63,12 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/kernel"
 	"repro/internal/loadgen"
 	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
+	"repro/internal/rescache"
 	"repro/internal/rng"
 	"repro/internal/scratch"
 	"repro/internal/serve"
@@ -100,6 +102,10 @@ func main() {
 			"with -openloop: offered load in requests per second (default 2000)")
 		arrivalFlag = flag.String("arrival", "",
 			"with -openloop: arrival process, 'const' (fixed spacing) or 'poisson' (bursty; the default)")
+		cacheFlag = flag.String("cache", "",
+			"with -serve: 'on' puts the generation-stamped result cache in front of the server (repeat requests are served from cached output with zero kernel work; cache stats printed) or 'off' (the default)")
+		deltaFlag = flag.String("delta", "",
+			"with -serve -cache on (closed-loop only): 'on' mixes incremental standing-query traffic into the demo — each client maintains a sorted record through CallDelta appends instead of re-sorting — or 'off' (the default)")
 		sloFlag = flag.Duration("slo", 0,
 			"with -serve: per-request deadline budget (e.g. 10ms); requests predicted or observed to miss it are refused with ErrDeadlineExceeded instead of served late (0 = no deadlines)")
 		kernelsFlag = flag.Bool("kernels", false, "list the kernel registry (name, variants, stream/relation wiring) and exit")
@@ -138,6 +144,26 @@ func main() {
 	poissonArrivals, arrErr := arrivalFor(*arrivalFlag)
 	if arrErr != nil {
 		fatalf("%v", arrErr)
+	}
+	cacheOn, cacheErr := cacheFor(*cacheFlag)
+	if cacheErr != nil {
+		fatalf("%v", cacheErr)
+	}
+	deltaOn, deltaErr := deltaFor(*deltaFlag)
+	if deltaErr != nil {
+		fatalf("%v", deltaErr)
+	}
+	if *cacheFlag != "" && !*serveMode {
+		fatalf("-cache requires -serve")
+	}
+	if *deltaFlag != "" && !*serveMode {
+		fatalf("-delta requires -serve")
+	}
+	if deltaOn && !cacheOn {
+		fatalf("-delta on requires -cache on (the incremental demo measures the cache and delta paths together)")
+	}
+	if deltaOn && *openLoop {
+		fatalf("-delta on requires the closed-loop demo (drop -openloop: standing-query records are per-client state)")
 	}
 
 	if *list {
@@ -193,10 +219,10 @@ func main() {
 			if rate == 0 {
 				rate = 2000
 			}
-			if err := runOpenLoopDemo(cfg, *shardsFlag, rate, poissonArrivals, *sloFlag, os.Stdout); err != nil {
+			if err := runOpenLoopDemo(cfg, *shardsFlag, rate, poissonArrivals, *sloFlag, cacheOn, os.Stdout); err != nil {
 				fatalf("serve: %v", err)
 			}
-		} else if err := runServeDemo(cfg, *shardsFlag, *sloFlag, os.Stdout); err != nil {
+		} else if err := runServeDemo(cfg, *shardsFlag, *sloFlag, cacheOn, deltaOn, os.Stdout); err != nil {
 			fatalf("serve: %v", err)
 		}
 		printRuntimeStats(cfg)
@@ -283,6 +309,8 @@ type serveFront interface {
 	Histogram(tenant string, hist []int, xs []int64, bucket func(int64) int) error
 	Scan(tenant string, dst, xs []int64) error
 	Sum(tenant string, xs []int64) (int64, error)
+	CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta) error
+	BumpGeneration(tenant string) uint64
 	TenantStats() []serve.TenantStats
 }
 
@@ -302,7 +330,7 @@ type demoFront struct {
 // and scratch pool, so cfg.Executor is unused there). slo threads the
 // deadline budget into the admission ladder; maxQueue overrides the
 // per-tenant queue bound (0 = serve's default).
-func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue int) *demoFront {
+func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue int, cacheOn bool) *demoFront {
 	workers := 4
 	if len(cfg.Procs) > 0 {
 		workers = cfg.Procs[len(cfg.Procs)-1]
@@ -314,6 +342,11 @@ func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue in
 		MaxQueue:       maxQueue,
 		PipelineCutoff: 1 << 15, // the demos' "long request" threshold
 		SLO:            slo,
+	}
+	if cacheOn {
+		// One cache in front of everything; a sharded server's shards
+		// all share it (the Config template copies the pointer).
+		scfg.Cache = rescache.New(rescache.Config{Pool: cfg.Scratch})
 	}
 	if cfg.Adaptive {
 		scfg.Adaptive = adapt.Default()
@@ -371,6 +404,16 @@ func (d *demoFront) printServeStats(w io.Writer) {
 		st.Accepted, st.Completed, st.Rejected,
 		st.Batches, avg, st.MaxBatch, st.ParallelBatches, st.SerialBatches,
 		st.Shed, st.Degraded, st.Pipelined, st.DeadlineRejected, st.Expired)
+	if c := d.scfg.Cache; c != nil {
+		cs := c.Stats()
+		hitRate := 0.0
+		if st.CacheHits+st.CacheMisses > 0 {
+			hitRate = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		}
+		fmt.Fprintf(w, "cache: hits=%d misses=%d hitrate=%.2f | entries=%d bytes=%d inserts=%d evictions=%d invalidations=%d\n",
+			st.CacheHits, st.CacheMisses, hitRate,
+			cs.Entries, cs.Bytes, cs.Inserts, cs.Evictions, cs.Invalidations)
+	}
 	if d.sharded != nil {
 		sst := d.sharded.Stats()
 		fmt.Fprintf(w, "shards: migrations=%d migrated=%d\n", sst.Migrations, sst.Migrated)
@@ -429,9 +472,13 @@ func demoPayload(n int, seed uint64) []int64 {
 // -procs and -quick flags through cfg. Closed-loop percentiles
 // understate the tail under saturation (coordinated omission): the
 // -openloop mode exists to print the honest number.
-func runServeDemo(cfg core.Config, shards int, slo time.Duration, w io.Writer) error {
+// With cacheOn the result cache fronts the server (most of the demo's
+// repeated-payload requests become hits) and with deltaOn each client
+// additionally maintains a standing sorted record through CallDelta
+// appends — the incremental path — instead of re-sorting from scratch.
+func runServeDemo(cfg core.Config, shards int, slo time.Duration, cacheOn, deltaOn bool, w io.Writer) error {
 	// Small queue bound: lets the hot tenant's backpressure show.
-	d := buildServeFront(cfg, shards, slo, 4)
+	d := buildServeFront(cfg, shards, slo, 4, cacheOn)
 	defer d.close()
 	srv := d.front
 
@@ -447,7 +494,7 @@ func runServeDemo(cfg core.Config, shards int, slo time.Duration, w io.Writer) e
 	base := demoPayload(n, seed)
 	const backoffMin, backoffMax = 20 * time.Microsecond, 2 * time.Millisecond
 	var next atomic.Int64
-	var retried, errored, deadlined atomic.Int64
+	var retried, errored, deadlined, deltas atomic.Int64
 	tenantRetries := make([]atomic.Int64, len(demoTenantNames))
 	lats := make([][]float64, len(demoTenants))
 	var wg sync.WaitGroup
@@ -464,16 +511,43 @@ func runServeDemo(cfg core.Config, shards int, slo time.Duration, w io.Writer) e
 			bucket := func(v int64) int { return int(uint64(v) % 1024) }
 			tIdx := demoTenantIdx(tenant)
 			backoff := backoffMin
+			// Standing-query state for -delta traffic: a sorted record
+			// this client grows through CallDelta appends, re-seeded
+			// (full sort) whenever it outgrows its budget.
+			kSort := kernel.MustLookup("sort")
+			var standing kernel.Args
+			chunk := make([]int64, 16)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= total {
 					return
+				}
+				if cacheOn && i == total/2 {
+					// Midway, one tenant's data "changes": its cached
+					// entries die at once and the invalidations
+					// counter in the stats line goes live.
+					srv.BumpGeneration("t2")
 				}
 				copy(xs, base)
 				t0 := time.Now()
 				for {
 					var err error
 					switch {
+					case deltaOn && i%8 == 5:
+						if len(standing.Xs) == 0 || len(standing.Xs) > 4*n {
+							standing.Xs = append(standing.Xs[:0], base...)
+							if err = srv.Sort(tenant, standing.Xs); err != nil {
+								standing.Xs = standing.Xs[:0] // not sorted; re-seed on retry
+								break
+							}
+						}
+						for j := range chunk {
+							chunk[j] = int64(rg.Uint64n(100003))
+						}
+						err = srv.CallDelta(tenant, kSort, &standing, &kernel.Delta{Append: chunk})
+						if err == nil {
+							deltas.Add(1)
+						}
 					case i%512 == 511:
 						if big == nil {
 							big = make([]int64, d.scfg.PipelineCutoff)
@@ -539,10 +613,14 @@ func runServeDemo(cfg core.Config, shards int, slo time.Duration, w io.Writer) e
 			d.workers, total)
 	}
 	d.printServeStats(w)
-	fmt.Fprintf(w, "clients: issued=%d ok=%d errored=%d retried=%d (hot=%d t1=%d t2=%d t3=%d) deadline-refused=%d\n",
+	fmt.Fprintf(w, "clients: issued=%d ok=%d errored=%d retried=%d (hot=%d t1=%d t2=%d t3=%d) deadline-refused=%d",
 		total, len(all), errored.Load(), retried.Load(),
 		tenantRetries[0].Load(), tenantRetries[1].Load(),
 		tenantRetries[2].Load(), tenantRetries[3].Load(), deadlined.Load())
+	if deltaOn {
+		fmt.Fprintf(w, " delta-updates=%d", deltas.Load())
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "latency: p50=%s p95=%s p99=%s | throughput=%.0f req/s over %s\n",
 		perf.FormatDuration(perf.Percentile(all, 50)),
 		perf.FormatDuration(perf.Percentile(all, 95)),
@@ -556,8 +634,8 @@ func runServeDemo(cfg core.Config, shards int, slo time.Duration, w io.Writer) e
 // the deadline counters.
 func printTenantStats(w io.Writer, srv serveFront) {
 	for _, ts := range srv.TenantStats() {
-		fmt.Fprintf(w, "tenant %-4s accepted=%-6d completed=%-6d rejected=%-5d dlrej=%-5d expired=%d\n",
-			ts.Name, ts.Accepted, ts.Completed, ts.Rejected, ts.DeadlineRejected, ts.Expired)
+		fmt.Fprintf(w, "tenant %-4s accepted=%-6d completed=%-6d rejected=%-5d dlrej=%-5d expired=%-3d cachehits=%d\n",
+			ts.Name, ts.Accepted, ts.Completed, ts.Rejected, ts.DeadlineRejected, ts.Expired, ts.CacheHits)
 	}
 }
 
@@ -575,8 +653,8 @@ func printTenantStats(w io.Writer, srv serveFront) {
 // clients line. The queue bound stays at serve's default so queueing
 // (the thing the corrected clock exists to see) is not clipped by the
 // demo's backpressure setting.
-func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, slo time.Duration, w io.Writer) error {
-	d := buildServeFront(cfg, shards, slo, 0)
+func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, slo time.Duration, cacheOn bool, w io.Writer) error {
+	d := buildServeFront(cfg, shards, slo, 0, cacheOn)
 	defer d.close()
 	srv := d.front
 
@@ -677,6 +755,29 @@ func scratchFor(mode string) (*scratch.Pool, error) {
 		return scratch.Off, nil
 	}
 	return nil, fmt.Errorf("bad -scratch %q: want on or off", mode)
+}
+
+// cacheFor resolves the -cache flag mode; unknown values are an
+// error, never a silent default.
+func cacheFor(mode string) (bool, error) {
+	switch mode {
+	case "on":
+		return true, nil
+	case "off", "":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -cache %q: want on or off", mode)
+}
+
+// deltaFor resolves the -delta flag mode.
+func deltaFor(mode string) (bool, error) {
+	switch mode {
+	case "on":
+		return true, nil
+	case "off", "":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -delta %q: want on or off", mode)
 }
 
 // arrivalFor resolves the -arrival flag mode into "poisson?".

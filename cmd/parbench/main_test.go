@@ -26,6 +26,12 @@ func TestFlagModesRejectUnknownValues(t *testing.T) {
 		if _, err := arrivalFor(bad); err == nil {
 			t.Errorf("arrivalFor(%q) accepted", bad)
 		}
+		if _, err := cacheFor(bad); err == nil {
+			t.Errorf("cacheFor(%q) accepted", bad)
+		}
+		if _, err := deltaFor(bad); err == nil {
+			t.Errorf("deltaFor(%q) accepted", bad)
+		}
 	}
 }
 
@@ -64,6 +70,21 @@ func TestFlagModesAcceptKnownValues(t *testing.T) {
 	if p, err := arrivalFor("const"); err != nil || p {
 		t.Errorf("arrivalFor(const) = %v, %v", p, err)
 	}
+	// Cache and delta default off; "" and "off" are the same answer.
+	for _, mode := range []string{"", "off"} {
+		if on, err := cacheFor(mode); err != nil || on {
+			t.Errorf("cacheFor(%q) = %v, %v", mode, on, err)
+		}
+		if on, err := deltaFor(mode); err != nil || on {
+			t.Errorf("deltaFor(%q) = %v, %v", mode, on, err)
+		}
+	}
+	if on, err := cacheFor("on"); err != nil || !on {
+		t.Errorf("cacheFor(on) = %v, %v", on, err)
+	}
+	if on, err := deltaFor("on"); err != nil || !on {
+		t.Errorf("deltaFor(on) = %v, %v", on, err)
+	}
 }
 
 // TestPipelineDemo smoke-runs the -pipeline mode at quick size and
@@ -92,7 +113,7 @@ func TestPipelineDemo(t *testing.T) {
 // lines appear with every request accounted for.
 func TestServeDemo(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 0, 0, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, 0, false, false, &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -112,7 +133,7 @@ func TestServeDemo(t *testing.T) {
 // request accounted for across shards.
 func TestServeDemoSharded(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 2, 0, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 2, 0, false, false, &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -133,7 +154,7 @@ func TestServeDemoSharded(t *testing.T) {
 // offered/achieved rate accounting appear.
 func TestOpenLoopDemo(t *testing.T) {
 	var buf strings.Builder
-	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, &buf); err != nil {
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, false, &buf); err != nil {
 		t.Fatalf("runOpenLoopDemo: %v", err)
 	}
 	out := buf.String()
@@ -152,7 +173,7 @@ func TestOpenLoopDemo(t *testing.T) {
 // with the corrected/uncorrected rows.
 func TestOpenLoopDemoConstSharded(t *testing.T) {
 	var buf strings.Builder
-	if err := runOpenLoopDemo(core.Config{Quick: true}, 2, 4000, false, 0, &buf); err != nil {
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 2, 4000, false, 0, false, &buf); err != nil {
 		t.Fatalf("runOpenLoopDemo: %v", err)
 	}
 	out := buf.String()
@@ -169,11 +190,66 @@ func TestOpenLoopDemoConstSharded(t *testing.T) {
 // deadline counters must be reported.
 func TestServeDemoWithSLO(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 0, 50*time.Millisecond, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, 50*time.Millisecond, false, false, &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
 	for _, want := range []string{"dlrej=", "expired=", "deadline-refused=", "retried="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeDemoWithCache smoke-runs the closed-loop demo with the
+// result cache fronting the server: repeated payloads must actually
+// hit, and the cache stats line must be printed.
+func TestServeDemoWithCache(t *testing.T) {
+	var buf strings.Builder
+	if err := runServeDemo(core.Config{Quick: true}, 0, 0, true, false, &buf); err != nil {
+		t.Fatalf("runServeDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cache: hits=", "hitrate=", "invalidations=", "cachehits="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cache: hits=0 ") {
+		t.Errorf("demo's repeated payloads never hit the cache:\n%s", out)
+	}
+	if strings.Contains(out, "invalidations=0\n") {
+		t.Errorf("mid-run generation bump never invalidated anything:\n%s", out)
+	}
+}
+
+// TestServeDemoWithCacheAndDelta smoke-runs the full -cache -delta
+// mix, sharded, and checks the standing-query traffic is counted.
+func TestServeDemoWithCacheAndDelta(t *testing.T) {
+	var buf strings.Builder
+	if err := runServeDemo(core.Config{Quick: true}, 2, 0, true, true, &buf); err != nil {
+		t.Fatalf("runServeDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cache: hits=", "delta-updates=", "2 shards"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "delta-updates=0") {
+		t.Errorf("delta traffic never ran:\n%s", out)
+	}
+}
+
+// TestOpenLoopDemoWithCache covers the open-loop driver with the
+// cache on (delta stays closed-loop-only by flag validation).
+func TestOpenLoopDemoWithCache(t *testing.T) {
+	var buf strings.Builder
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, true, &buf); err != nil {
+		t.Fatalf("runOpenLoopDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cache: hits=", "latency (corrected"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -198,7 +274,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 26 {
+	if len(all) != 27 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

@@ -160,6 +160,8 @@ func init() {
 		Check:   eqXs,
 		Feature: sortFeature,
 		Stream:  streamSort,
+		Delta:   sortDelta,
+		Cache:   &CacheSpec{Out: OutXs},
 		Meta: []MetaRelation{
 			{
 				Name:   "permutation",
@@ -211,6 +213,7 @@ func init() {
 			}
 			return nil
 		},
+		Cache: &CacheSpec{Out: OutScalar},
 		Meta: []MetaRelation{
 			{
 				Name:   "permutation",
@@ -264,6 +267,9 @@ func init() {
 			}
 			return nil
 		},
+		// No CacheSpec: the bucket function cannot be fingerprinted.
+		// The mergeable-summary property still gives it a delta path.
+		Delta: histogramDelta,
 		Meta: []MetaRelation{
 			{
 				Name:   "permutation",
@@ -306,6 +312,8 @@ func init() {
 			}
 			return nil
 		},
+		Delta: scanDelta,
+		Cache: &CacheSpec{Out: OutDst},
 		Stream: func(a *Args, opts par.Options) error {
 			// Dst may alias Xs: the sink's write offset never passes the
 			// source's read offset (chunks are copied out of Xs in stream
@@ -364,6 +372,8 @@ func init() {
 			}
 			return nil
 		},
+		Delta: sumDelta,
+		Cache: &CacheSpec{Out: OutScalar},
 		Meta: []MetaRelation{
 			{
 				Name:   "permutation",

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// deltaFor builds a kernel-appropriate update of roughly dk elements:
+// appended values for the slice kernels, inserted edges for cc.
+func deltaFor(k *Kernel, a *Args, dk int, seed uint64) *Delta {
+	if k.Name == "cc" {
+		n := a.G.N()
+		r := rng.New(seed*31 + 5)
+		edges := make([]graph.Edge, dk)
+		for i := range edges {
+			edges[i] = graph.Edge{U: r.Intn(n), V: r.Intn(n)}
+		}
+		return &Delta{Edges: edges}
+	}
+	return &Delta{Append: gen.Ints(dk, gen.Uniform, seed*127+9)}
+}
+
+// TestDeltaMatchesFullRecompute is the differential contract of every
+// delta adapter: Serial(base) then RunDelta(delta) must leave the
+// record's outputs exactly as Serial on the updated input would.
+func TestDeltaMatchesFullRecompute(t *testing.T) {
+	for _, k := range All() {
+		if k.Delta == nil {
+			continue
+		}
+		t.Run(k.Name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 5, 100, 1000} {
+				for _, dk := range []int{0, 1, 7, 64} {
+					for seed := uint64(0); seed < 3; seed++ {
+						a := k.Gen(n, seed)
+						k.Serial(a)
+						d := deltaFor(k, a, dk, seed)
+						if err := k.RunDelta(a, d, par.Options{}); err != nil {
+							t.Fatalf("n=%d dk=%d seed=%d: RunDelta: %v", n, dk, seed, err)
+						}
+
+						want := k.Gen(n, seed) // deterministic: same pristine input
+						applyToInput(k, want, d)
+						k.Serial(want)
+						if err := k.Check(a, want); err != nil {
+							t.Fatalf("n=%d dk=%d seed=%d: delta result diverges from full recompute: %v", n, dk, seed, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// applyToInput rewrites a pristine generated record's *input* to
+// include the delta, so Serial on it is the full-recompute oracle.
+func applyToInput(k *Kernel, a *Args, d *Delta) {
+	if k.Name == "cc" {
+		es := append(a.G.Edges(), d.Edges...)
+		a.G = graph.MustBuild(a.G.N(), es, false)
+		return
+	}
+	a.Xs = append(a.Xs, d.Append...)
+	if k.Name == "scan" {
+		a.Dst = make([]int64, len(a.Xs))
+	}
+}
+
+// TestDeltaRepeatedApplications chains several deltas through one
+// record — the standing-query shape — and checks the final state once.
+func TestDeltaRepeatedApplications(t *testing.T) {
+	for _, k := range All() {
+		if k.Delta == nil {
+			continue
+		}
+		t.Run(k.Name, func(t *testing.T) {
+			const n = 300
+			a := k.Gen(n, 1)
+			want := k.Gen(n, 1)
+			k.Serial(a)
+			for step := uint64(0); step < 5; step++ {
+				d := deltaFor(k, a, 17, 100+step)
+				if err := k.RunDelta(a, d, par.Options{}); err != nil {
+					t.Fatalf("step %d: RunDelta: %v", step, err)
+				}
+				applyToInput(k, want, d)
+			}
+			k.Serial(want)
+			if err := k.Check(a, want); err != nil {
+				t.Fatalf("after 5 chained deltas: %v", err)
+			}
+		})
+	}
+}
+
+// TestRunDeltaWithoutAdapter: kernels that declare no delta adapter
+// refuse loudly instead of silently no-opping.
+func TestRunDeltaWithoutAdapter(t *testing.T) {
+	k := MustLookup("select")
+	if k.Delta != nil {
+		t.Skip("select grew a delta adapter; pick another kernel")
+	}
+	a := k.Gen(16, 0)
+	if err := k.RunDelta(a, &Delta{Append: []int64{1}}, par.Options{}); err == nil {
+		t.Fatal("RunDelta on adapterless kernel returned nil error")
+	}
+}
+
+// TestDeltaEmptyIsNoop: an empty delta leaves the record untouched.
+func TestDeltaEmptyIsNoop(t *testing.T) {
+	for _, k := range All() {
+		if k.Delta == nil {
+			continue
+		}
+		a := k.Gen(64, 2)
+		k.Serial(a)
+		want := k.Gen(64, 2)
+		k.Serial(want)
+		var d Delta
+		if !d.Empty() {
+			t.Fatal("zero Delta not Empty")
+		}
+		if err := k.RunDelta(a, &d, par.Options{}); err != nil {
+			t.Fatalf("%s: empty delta errored: %v", k.Name, err)
+		}
+		if err := k.Check(a, want); err != nil {
+			t.Fatalf("%s: empty delta changed outputs: %v", k.Name, err)
+		}
+	}
+}
+
+// TestCcDeltaRejectsOutOfRangeEdge pins the adapter's bounds check.
+func TestCcDeltaRejectsOutOfRangeEdge(t *testing.T) {
+	k := MustLookup("cc")
+	a := k.Gen(10, 0)
+	k.Serial(a)
+	bad := &Delta{Edges: []graph.Edge{{U: 0, V: a.G.N()}}}
+	if err := k.RunDelta(a, bad, par.Options{}); err == nil {
+		t.Fatal("cc delta accepted an out-of-range edge")
+	}
+}

@@ -96,6 +96,9 @@ func init() {
 			return &Args{Xs: xs, K: 4 * tn, Seed: seed*0x9E3779B97F4A7C15 + 1}
 		},
 		Check: eqXs,
+		// Deterministic given (Xs, K, Seed): the update stream is a pure
+		// function of (Seed, i) and wrapping adds commute.
+		Cache: &CacheSpec{Out: OutXs},
 		Meta: []MetaRelation{
 			{
 				// The update stream depends only on (Seed, K), so shifting

@@ -47,6 +47,9 @@ func Constant(n int, rate float64) Schedule {
 	if rate <= 0 {
 		panic("loadgen: Constant rate <= 0")
 	}
+	if n < 0 {
+		panic("loadgen: Constant n < 0")
+	}
 	offs := make([]time.Duration, n)
 	for i := range offs {
 		offs[i] = time.Duration(float64(i) / rate * float64(time.Second))
@@ -65,6 +68,9 @@ func Constant(n int, rate float64) Schedule {
 func Poisson(n int, rate float64, seed uint64) Schedule {
 	if rate <= 0 {
 		panic("loadgen: Poisson rate <= 0")
+	}
+	if n < 0 {
+		panic("loadgen: Poisson n < 0")
 	}
 	r := rng.New(seed)
 	offs := make([]time.Duration, n)

@@ -171,3 +171,79 @@ func TestCoordinatedOmissionRegression(t *testing.T) {
 		t.Logf("note: correction gap modest (corr %.4fs, uncorr %.4fs)", rep.CorrectedP99, rep.UncorrectedP99)
 	}
 }
+
+// TestNegativeCountPanics pins the documented contract: a negative n
+// fails loudly at schedule construction, not as an opaque runtime
+// error (or a silent misbehavior) later.
+func TestNegativeCountPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"Constant", func() { Constant(-1, 100) }},
+		{"Poisson", func() { Poisson(-1, 100, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted n = -1", tc.name)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestSummarizeDegenerateSchedules pins the harness's edge cases: no
+// arrivals, a single arrival, every arrival at the same instant, and
+// a run where every request errors. None of these may divide by zero
+// or leak NaN/Inf rates or percentiles into a report.
+func TestSummarizeDegenerateSchedules(t *testing.T) {
+	fail := errors.New("synthetic failure")
+	for _, tc := range []struct {
+		name    string
+		sched   Schedule
+		do      func(i int) error
+		wantOK  int
+		wantErr int
+	}{
+		{"empty", Constant(0, 100), func(int) error { return nil }, 0, 0},
+		{"single", Constant(1, 100), func(int) error { return nil }, 1, 0},
+		{"zero-duration", Schedule{Offsets: make([]time.Duration, 5)}, func(int) error { return nil }, 5, 0},
+		{"all-errored", Constant(4, 10000), func(int) error { return fail }, 0, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Run(tc.sched, tc.do)
+			rep := res.Summarize(tc.sched)
+			if rep.Sent != tc.sched.Len() || rep.OK != tc.wantOK || rep.Errors != tc.wantErr {
+				t.Fatalf("report = %+v, want sent=%d ok=%d errors=%d",
+					rep, tc.sched.Len(), tc.wantOK, tc.wantErr)
+			}
+			for name, v := range map[string]float64{
+				"OfferedRate":    rep.OfferedRate,
+				"AchievedRate":   rep.AchievedRate,
+				"CorrectedP50":   rep.CorrectedP50,
+				"CorrectedP95":   rep.CorrectedP95,
+				"CorrectedP99":   rep.CorrectedP99,
+				"UncorrectedP50": rep.UncorrectedP50,
+				"UncorrectedP95": rep.UncorrectedP95,
+				"UncorrectedP99": rep.UncorrectedP99,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s = %v (report %+v)", name, v, rep)
+				}
+				if v < 0 {
+					t.Fatalf("%s = %v is negative (report %+v)", name, v, rep)
+				}
+			}
+			// Fewer than two arrivals (or a zero span) define no offered
+			// rate; an all-errored run achieved nothing.
+			if tc.sched.Duration() <= 0 && rep.OfferedRate != 0 {
+				t.Fatalf("OfferedRate = %v for a zero-span schedule", rep.OfferedRate)
+			}
+			if tc.wantOK == 0 && rep.AchievedRate != 0 {
+				t.Fatalf("AchievedRate = %v with zero successes", rep.AchievedRate)
+			}
+		})
+	}
+}

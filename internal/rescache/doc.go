@@ -1,0 +1,33 @@
+// Package rescache is a generation-stamped result cache for kernel
+// calls: a repeated request — same tenant, same kernel, same input —
+// is served from a stored copy of the output with zero kernel work.
+//
+// # Keying and generations
+//
+// An entry is keyed on (tenant, kernel, input fingerprint, tenant
+// generation). The fingerprint hashes the kernel's declared input
+// fields (Xs, K, Seed — see kernel.CacheSpec); kernels whose inputs
+// include a function or a graph cannot be fingerprinted and are never
+// cached. The generation is a per-tenant counter: Bump invalidates
+// every entry the tenant has, in O(1) for correctness (the generation
+// in the key no longer matches) plus an eager sweep that frees the
+// memory immediately. A bumped generation can never be observed again,
+// so stale hits are impossible by construction.
+//
+// # Tokens and concurrent invalidation
+//
+// Lookup is called before the kernel runs and, on a miss, returns a
+// Token capturing (fingerprint, generation) of the input at that
+// instant — before the kernel mutates it in place. Insert re-checks
+// under the cache lock that the tenant's generation still equals the
+// token's; an insert racing a Bump is dropped, not stored. This is
+// what makes the cache safe across sharded migration: a thief shard
+// shares the same Cache, and any result computed against pre-bump
+// input can never be inserted under the post-bump generation.
+//
+// # Memory
+//
+// Entry buffers come from a scratch.Pool and the cache is bounded by
+// MaxBytes with LRU eviction, so it borrows the serving runtime's
+// size-class recycling instead of growing the heap without bound.
+package rescache

@@ -1,0 +1,236 @@
+package rescache
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// prime computes k on a fresh record and inserts the result, returning
+// a pristine copy of the same input for lookup.
+func prime(t *testing.T, c *Cache, tenant, name string, n int, seed uint64) *kernel.Args {
+	t.Helper()
+	k := kernel.MustLookup(name)
+	a := k.Gen(n, seed)
+	tok, hit := c.Lookup(tenant, k, a)
+	if hit {
+		t.Fatalf("%s: unexpected hit on empty cache", name)
+	}
+	if !tok.Valid() {
+		t.Fatalf("%s: miss token invalid for cacheable kernel", name)
+	}
+	k.Serial(a)
+	c.Insert(tenant, k, tok, a)
+	return k.Gen(n, seed)
+}
+
+// TestHitRestoresEveryOutField runs the full miss-compute-insert-hit
+// cycle for one kernel of each output shape and checks the restored
+// record against a serial recompute.
+func TestHitRestoresEveryOutField(t *testing.T) {
+	for _, name := range []string{"sort", "scan", "sum", "topk", "select", "gups"} {
+		t.Run(name, func(t *testing.T) {
+			c := New(Config{})
+			k := kernel.MustLookup(name)
+			a := prime(t, c, "t0", name, 256, 7)
+			if _, hit := c.Lookup("t0", k, a); !hit {
+				t.Fatal("second lookup of identical input missed")
+			}
+			want := k.Gen(256, 7)
+			k.Serial(want)
+			if err := k.Check(a, want); err != nil {
+				t.Fatalf("restored output diverges from recompute: %v", err)
+			}
+			st := c.Stats()
+			if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+				t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 insert", st)
+			}
+		})
+	}
+}
+
+// TestUncacheableKernel: a kernel without a CacheSpec (or with a
+// function/graph input) yields an invalid token and no counters move.
+func TestUncacheableKernel(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("histogram")
+	a := k.Gen(64, 1)
+	tok, hit := c.Lookup("t0", k, a)
+	if hit || tok.Valid() {
+		t.Fatal("histogram (function input) reported cacheable")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("uncacheable lookup moved counters: %+v", st)
+	}
+}
+
+// TestTenantsAreIsolated: one tenant's entry is invisible to another.
+func TestTenantsAreIsolated(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("sum")
+	a := prime(t, c, "alice", "sum", 128, 3)
+	if _, hit := c.Lookup("bob", k, a); hit {
+		t.Fatal("bob hit alice's entry")
+	}
+}
+
+// TestBumpInvalidates: a generation bump turns a guaranteed hit into a
+// miss and sweeps the tenant's entries, leaving other tenants intact.
+func TestBumpInvalidates(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("sort")
+	a := prime(t, c, "alice", "sort", 128, 3)
+	b := prime(t, c, "bob", "sort", 128, 4)
+	if g := c.Bump("alice"); g != 1 {
+		t.Fatalf("first bump -> generation %d, want 1", g)
+	}
+	if _, hit := c.Lookup("alice", k, a); hit {
+		t.Fatal("hit survived a generation bump")
+	}
+	if _, hit := c.Lookup("bob", k, b); !hit {
+		t.Fatal("bob's entry swept by alice's bump")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+// TestStaleTokenInsertDropped is the migration-safety property: a
+// result computed against pre-bump input must not be stored under the
+// post-bump generation.
+func TestStaleTokenInsertDropped(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("sum")
+	a := k.Gen(64, 9)
+	tok, _ := c.Lookup("t0", k, a)
+	c.Bump("t0") // races the (conceptual) kernel run
+	k.Serial(a)
+	c.Insert("t0", k, tok, a)
+	if st := c.Stats(); st.Inserts != 0 || st.Entries != 0 {
+		t.Fatalf("stale-token insert was stored: %+v", st)
+	}
+}
+
+// TestLRUEviction: a tight budget evicts the least-recently-used
+// entry first, and touching an entry protects it.
+func TestLRUEviction(t *testing.T) {
+	const n = 64
+	entryBytes := int64(8*n) + entryOverhead
+	c := New(Config{MaxBytes: 2 * entryBytes})
+	k := kernel.MustLookup("sort")
+
+	a0 := prime(t, c, "t0", "sort", n, 0)
+	prime(t, c, "t0", "sort", n, 1)
+	if _, hit := c.Lookup("t0", k, a0); !hit { // a0 becomes MRU
+		t.Fatal("a0 missed before eviction")
+	}
+	prime(t, c, "t0", "sort", n, 2) // evicts a1 (LRU)
+
+	if _, hit := c.Lookup("t0", k, k.Gen(n, 1)); hit {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, seed := range []uint64{0, 2} {
+		if _, hit := c.Lookup("t0", k, k.Gen(n, seed)); !hit {
+			t.Fatalf("retained entry seed=%d missed", seed)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+	if st.Bytes > c.max {
+		t.Fatalf("bytes %d exceeds budget %d", st.Bytes, c.max)
+	}
+}
+
+// TestOversizedEntryNotStored: an entry larger than the whole budget
+// is refused rather than evicting everything.
+func TestOversizedEntryNotStored(t *testing.T) {
+	c := New(Config{MaxBytes: 256})
+	k := kernel.MustLookup("sort")
+	a := k.Gen(1024, 5)
+	tok, _ := c.Lookup("t0", k, a)
+	k.Serial(a)
+	c.Insert("t0", k, tok, a)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry stored: %+v", st)
+	}
+}
+
+// TestDuplicateInsertDropped: two concurrent misses on the same input
+// both compute; only the first result is stored.
+func TestDuplicateInsertDropped(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("sum")
+	a1, a2 := k.Gen(64, 6), k.Gen(64, 6)
+	tok1, _ := c.Lookup("t0", k, a1)
+	tok2, _ := c.Lookup("t0", k, a2)
+	k.Serial(a1)
+	k.Serial(a2)
+	c.Insert("t0", k, tok1, a1)
+	c.Insert("t0", k, tok2, a2)
+	if st := c.Stats(); st.Inserts != 1 || st.Entries != 1 {
+		t.Fatalf("duplicate insert stored: %+v", st)
+	}
+}
+
+// TestLookupHitAllocs pins the hit path at 0 allocs/op — the property
+// serve's fast path is built on. Retried to absorb GC jitter.
+func TestLookupHitAllocs(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("sum")
+	a := prime(t, c, "t0", "sum", 512, 11)
+	for i := 0; i < 64; i++ { // warm up
+		if _, hit := c.Lookup("t0", k, a); !hit {
+			t.Fatal("warmup lookup missed")
+		}
+	}
+	var allocs float64
+	for attempt := 0; attempt < 3; attempt++ {
+		allocs = testing.AllocsPerRun(100, func() {
+			if _, hit := c.Lookup("t0", k, a); !hit {
+				panic("hit path missed")
+			}
+		})
+		if allocs == 0 {
+			return
+		}
+	}
+	t.Fatalf("Lookup hit path allocates %v allocs/op, want 0", allocs)
+}
+
+// TestFingerprintIgnoresDstLength: the same query with a differently
+// sized destination is still a hit (Dst is output space, not input).
+func TestFingerprintIgnoresDstLength(t *testing.T) {
+	c := New(Config{})
+	k := kernel.MustLookup("topk")
+	a := prime(t, c, "t0", "topk", 256, 2)
+	a.Dst = make([]int64, 0, len(a.Xs)) // different len/cap, same input
+	if _, hit := c.Lookup("t0", k, a); !hit {
+		t.Fatal("varying Dst capacity broke the fingerprint")
+	}
+	want := k.Gen(256, 2)
+	k.Serial(want)
+	if err := k.Check(a, want); err != nil {
+		t.Fatalf("restored into resized Dst diverges: %v", err)
+	}
+}
+
+// TestGenerationsAdvanceIndependently documents per-tenant counters.
+func TestGenerationsAdvanceIndependently(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 3; i++ {
+		c.Bump("alice")
+	}
+	c.Bump("bob")
+	if g := c.Generation("alice"); g != 3 {
+		t.Fatalf("alice generation = %d, want 3", g)
+	}
+	if g := c.Generation("bob"); g != 1 {
+		t.Fatalf("bob generation = %d, want 1", g)
+	}
+	if g := c.Generation("carol"); g != 0 {
+		t.Fatalf("carol generation = %d, want 0", g)
+	}
+}

@@ -23,9 +23,13 @@ func deadlineGate() (bucket func(int64) int, gate chan struct{}) {
 func TestDeadlineDoorRejection(t *testing.T) {
 	s := New(Config{SLO: time.Millisecond})
 	defer s.Close()
-	// Pretend the dispatcher has measured 10ms per request: any
-	// admission now predicts (queued+1)*10ms > 1ms and must bounce.
+	// Pretend the dispatcher has measured 10ms per request, freshly:
+	// any admission now predicts (queued+1)*10ms > 1ms and must
+	// bounce. Without the fresh stamp the door would (correctly)
+	// distrust the estimate as stale — that path is pinned by
+	// TestDeadlineStaleEstimateAdmits.
 	s.svcNanos.Store(int64(10 * time.Millisecond))
+	s.svcStamp.Store(int64(time.Since(serveEpoch)))
 
 	err := s.Sort("t", []int64{3, 1, 2})
 	if !errors.Is(err, ErrDeadlineExceeded) {
@@ -56,6 +60,55 @@ func TestDeadlineColdDoorAdmits(t *testing.T) {
 	}
 	if per := s.svcNanos.Load(); per <= 0 {
 		t.Fatalf("svcNanos not measured after a batch: %d", per)
+	}
+}
+
+// TestDeadlineStaleEstimateAdmits pins the staleness fix: a server
+// that has sat idle past svcStaleAfter must admit the next arrival
+// like a cold start, even when the last traffic regime left a
+// per-request estimate that would predict a deadline miss. Before the
+// fix the EWMA never aged out and an idle server could bounce the
+// first request of a new regime forever.
+func TestDeadlineStaleEstimateAdmits(t *testing.T) {
+	s := New(Config{SLO: time.Millisecond})
+	defer s.Close()
+	// A fossil estimate: 10ms per request, measured (far) longer than
+	// svcStaleAfter ago.
+	s.svcNanos.Store(int64(10 * time.Millisecond))
+	s.svcStamp.Store(int64(time.Since(serveEpoch)) - 2*int64(svcStaleAfter))
+
+	xs := []int64{3, 1, 2}
+	if err := s.Sort("t", xs); err != nil {
+		t.Fatalf("idle-server submit bounced on a stale estimate: %v", err)
+	}
+	if xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("sorted = %v", xs)
+	}
+	if st := s.Stats(); st.DeadlineRejected != 0 || st.Accepted != 1 {
+		t.Fatalf("stats = %+v, want 1 accepted / 0 deadline-rejected", st)
+	}
+}
+
+// TestDeadlineStaleEstimateResets pins the dispatcher side of the
+// fix: the first batch after an idle gap restarts the EWMA from its
+// own measurement instead of averaging into the dead regime's value.
+func TestDeadlineStaleEstimateResets(t *testing.T) {
+	s := New(Config{SLO: time.Second})
+	defer s.Close()
+	fossil := int64(time.Hour)
+	s.svcNanos.Store(fossil)
+	s.svcStamp.Store(int64(time.Since(serveEpoch)) - 2*int64(svcStaleAfter))
+
+	if err := s.Sort("t", []int64{3, 1, 2}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// A fold (alpha 1/4) would leave ~45 minutes; a reset leaves the
+	// microseconds this batch actually took.
+	if per := s.svcNanos.Load(); per <= 0 || per >= fossil/2 {
+		t.Fatalf("svcNanos = %v after stale gap, want a reset to this batch's measurement", time.Duration(per))
+	}
+	if !s.svcFresh(time.Now()) {
+		t.Fatal("svcStamp not refreshed by the batch")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/par"
 	"repro/internal/pipeline"
+	"repro/internal/rescache"
 )
 
 // The kernels behind the typed convenience methods, resolved once at
@@ -42,8 +43,13 @@ type request struct {
 	deadline time.Time
 
 	args kernel.Args
-	err  error
-	done chan struct{} // cap 1; signaled exactly once per execution
+	// delta rides incremental requests (CallDelta): when isDelta is
+	// set, the batch slot runs the kernel's delta adapter over (args,
+	// delta) instead of a full Run.
+	delta   kernel.Delta
+	isDelta bool
+	err     error
+	done    chan struct{} // cap 1; signaled exactly once per execution
 }
 
 // getRequest takes a pooled request and stamps its identity fields.
@@ -98,6 +104,10 @@ func (s *Server) runOne(r *request) {
 		s.completed.Add(1)
 		r.done <- struct{}{}
 	}()
+	if r.isDelta {
+		r.err = r.k.RunDelta(&r.args, &r.delta, s.serialOpts())
+		return
+	}
 	r.k.Run(&r.args, s.serialOpts())
 }
 
@@ -172,6 +182,29 @@ func (s *Server) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
 	if c := s.cfg.pipelineCutoff(); c > 0 && k.Stream != nil && a.Len() >= c {
 		return s.streamOne(tenant, k, a)
 	}
+	var tok rescache.Token
+	if c := s.cfg.Cache; c != nil && rescache.Cacheable(k, a) {
+		// Fast path: a hit restores the cached output into a and skips
+		// validation, admission, queueing and the kernel entirely (a
+		// cached entry can only have come from a validated run of the
+		// byte-identical input, so re-validating proves nothing).
+		// Hits stay allocation-free: the token and key live on the
+		// stack, and Lookup copies into the caller's existing slices.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		t := s.tenantLocked(tenant)
+		s.mu.Unlock()
+		var hit bool
+		if tok, hit = c.Lookup(tenant, k, a); hit {
+			t.cacheHits.Add(1)
+			s.cacheHits.Add(1)
+			return nil
+		}
+		s.cacheMisses.Add(1)
+	}
 	r := s.getRequest(k, tenant, a)
 	if k.Validate != nil {
 		if err := k.Validate(&r.args); err != nil {
@@ -179,6 +212,35 @@ func (s *Server) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
 			return err
 		}
 	}
+	err := s.submit(r)
+	if err == nil && tok.Valid() {
+		// Store under the token captured before the kernel mutated the
+		// input; Insert drops the result if the tenant's generation was
+		// bumped while it computed.
+		s.cfg.Cache.Insert(tenant, k, tok, &r.args)
+	}
+	*a = r.args
+	s.putRequest(r)
+	return err
+}
+
+// CallDelta submits one incremental request: the kernel's delta
+// adapter folds d into the already-computed record a inside a batch
+// slot, with the same admission, fairness, deadline and migration
+// semantics as Call — for the cost of the delta instead of a full
+// recompute. Kernels without a delta adapter fail loudly. The delta
+// path never touches the result cache: entries describing the
+// pre-delta input remain correct for that input.
+func (s *Server) CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta) error {
+	if k == nil {
+		return fmt.Errorf("serve: CallDelta with nil kernel")
+	}
+	if k.Delta == nil {
+		return fmt.Errorf("serve: kernel %s has no delta adapter", k.Name)
+	}
+	r := s.getRequest(k, tenant, a)
+	r.delta = *d
+	r.isDelta = true
 	err := s.submit(r)
 	*a = r.args
 	s.putRequest(r)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/exec"
 	"repro/internal/par"
+	"repro/internal/rescache"
 	"repro/internal/scratch"
 )
 
@@ -92,6 +93,13 @@ type Config struct {
 	// are shed to serial execution and admission bounds tighten;
 	// <= 0 means DefaultSaturation.
 	Saturation float64
+	// Cache, when non-nil, is the generation-stamped result cache
+	// consulted by Call before any queueing: a repeat of a cacheable
+	// request (same tenant, kernel and input since the tenant's last
+	// BumpGeneration) is served from the cached output with zero
+	// kernel work, counted in CacheHits and in neither Accepted nor
+	// Completed. Shards of a Sharded server share one Cache.
+	Cache *rescache.Cache
 	// SLO, when positive, is the per-request deadline budget: every
 	// admitted request is stamped with deadline = now + SLO, and the
 	// ladder gains its deadline rung. At the door, a request whose
@@ -132,6 +140,22 @@ const (
 // OverflowTenant is the shared accounting entry that absorbs requests
 // from tenant names seen after MaxTenants distinct names exist.
 const OverflowTenant = "(other)"
+
+// svcStaleAfter bounds how long the door trusts the service-time EWMA
+// after the last batch: past it an idle server forgets what it learned
+// under the previous traffic regime rather than rejecting the first
+// requests of the next one against a fossilized estimate.
+const svcStaleAfter = 500 * time.Millisecond
+
+// serveEpoch anchors svcStamp: stamps are monotonic nanoseconds since
+// this process-wide instant, so they fit one atomic.Int64.
+var serveEpoch = time.Now()
+
+// svcFresh reports whether the service-time EWMA was folded recently
+// enough (within svcStaleAfter of now) to predict the next wait.
+func (s *Server) svcFresh(now time.Time) bool {
+	return int64(now.Sub(serveEpoch))-s.svcStamp.Load() <= int64(svcStaleAfter)
+}
 
 func (c Config) executor() *exec.Executor {
 	if c.Executor != nil {
@@ -214,6 +238,7 @@ type tenant struct {
 	completed        atomic.Int64
 	deadlineRejected atomic.Int64
 	expired          atomic.Int64
+	cacheHits        atomic.Int64
 }
 
 // Stats is a snapshot of a server's admission and batching counters.
@@ -248,6 +273,11 @@ type Stats struct {
 	// ErrDeadlineExceeded and neither is included in Completed, so at
 	// drain Accepted == Completed + Expired.
 	DeadlineRejected, Expired int64
+	// CacheHits counts requests served whole from the result cache
+	// (zero kernel work; in neither Accepted nor Completed).
+	// CacheMisses counts cacheable requests that had to compute. Both
+	// stay zero without Config.Cache.
+	CacheHits, CacheMisses int64
 	// MigratedIn and MigratedOut count requests the diffusive shard
 	// balancer moved onto and off this server's queues (always zero
 	// for a standalone Server). A migrated request is Accepted on its
@@ -265,6 +295,7 @@ type TenantStats struct {
 	Name                          string
 	Accepted, Rejected, Completed int64
 	DeadlineRejected, Expired     int64
+	CacheHits                     int64
 }
 
 // Server is the multi-tenant request-serving runtime. Create one with
@@ -298,7 +329,14 @@ type Server struct {
 	// requests waits roughly q*svcNanos. Written only by the
 	// dispatcher, read by submitters; 0 until the first batch
 	// completes (the door admits optimistically while cold).
+	//
+	// svcStamp is when svcNanos was last written, as nanoseconds since
+	// serveEpoch. An estimate older than svcStaleAfter describes a
+	// dead traffic regime: the door stops trusting it (admitting
+	// optimistically again, as when cold), and the dispatcher's next
+	// fold resets the EWMA instead of averaging across the idle gap.
 	svcNanos        atomic.Int64
+	svcStamp        atomic.Int64
 	batches         atomic.Int64
 	batchedReqs     atomic.Int64
 	maxBatch        atomic.Int64
@@ -309,6 +347,21 @@ type Server struct {
 	pipelined       atomic.Int64
 	migratedIn      atomic.Int64
 	migratedOut     atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+}
+
+// Cache returns the server's result cache, nil when caching is off.
+func (s *Server) Cache() *rescache.Cache { return s.cfg.Cache }
+
+// BumpGeneration invalidates every result cached for tenant (its data
+// changed out of band) and returns the new generation. A no-op
+// returning 0 without Config.Cache.
+func (s *Server) BumpGeneration(tenant string) uint64 {
+	if c := s.cfg.Cache; c != nil {
+		return c.Bump(tenant)
+	}
+	return 0
 }
 
 // New creates a Server and starts its dispatcher. The dispatcher runs
@@ -360,6 +413,8 @@ func (s *Server) Stats() Stats {
 		Pipelined:        s.pipelined.Load(),
 		DeadlineRejected: s.deadlineRejected.Load(),
 		Expired:          s.expired.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
 		MigratedIn:       s.migratedIn.Load(),
 		MigratedOut:      s.migratedOut.Load(),
 	}
@@ -377,6 +432,7 @@ func (s *Server) TenantStats() []TenantStats {
 			Completed:        t.completed.Load(),
 			DeadlineRejected: t.deadlineRejected.Load(),
 			Expired:          t.expired.Load(),
+			CacheHits:        t.cacheHits.Load(),
 		})
 	}
 	s.mu.Unlock()
@@ -442,13 +498,18 @@ func (s *Server) submit(r *request) error {
 		// time. A request that already cannot make its budget is
 		// refused at the door — queueing it would burn queue bound and
 		// dispatcher time on an answer that is late by construction.
-		if per := s.svcNanos.Load(); per > 0 && int64(s.queued+1)*per > int64(slo) {
+		// The prediction only counts while fresh: after an idle gap the
+		// EWMA describes traffic that no longer exists, and a cold-
+		// start-like first arrival must be admitted, not rejected
+		// against it.
+		now := time.Now()
+		if per := s.svcNanos.Load(); per > 0 && s.svcFresh(now) && int64(s.queued+1)*per > int64(slo) {
 			s.mu.Unlock()
 			t.deadlineRejected.Add(1)
 			s.deadlineRejected.Add(1)
 			return ErrDeadlineExceeded
 		}
-		r.deadline = time.Now().Add(slo)
+		r.deadline = now.Add(slo)
 	}
 	r.t = t
 	r.next = nil
@@ -750,9 +811,14 @@ func (s *Server) execute(batch []*request) {
 	// load/store EWMA is race-free; alpha 1/4 forgets a shed or
 	// degraded batch within a few normal ones.
 	per := int64(time.Since(start)) / int64(n)
-	if old := s.svcNanos.Load(); old == 0 {
+	now := int64(time.Since(serveEpoch))
+	if old := s.svcNanos.Load(); old == 0 || now-s.svcStamp.Load() > int64(svcStaleAfter) {
+		// Cold, or the last fold is from before an idle gap: the old
+		// EWMA describes a dead regime, so restart from this batch
+		// instead of dragging fossil history into the average.
 		s.svcNanos.Store(per)
 	} else {
 		s.svcNanos.Store(old + (per-old)/4)
 	}
+	s.svcStamp.Store(now)
 }

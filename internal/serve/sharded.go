@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/rescache"
 	"repro/internal/scratch"
 )
 
@@ -300,6 +301,8 @@ func (g *Sharded) Stats() ShardedStats {
 		a.Pipelined += ss.Pipelined
 		a.DeadlineRejected += ss.DeadlineRejected
 		a.Expired += ss.Expired
+		a.CacheHits += ss.CacheHits
+		a.CacheMisses += ss.CacheMisses
 		a.MigratedIn += ss.MigratedIn
 		a.MigratedOut += ss.MigratedOut
 	}
@@ -323,6 +326,7 @@ func (g *Sharded) TenantStats() []TenantStats {
 			cur.Completed += ts.Completed
 			cur.DeadlineRejected += ts.DeadlineRejected
 			cur.Expired += ts.Expired
+			cur.CacheHits += ts.CacheHits
 			m[ts.Name] = cur
 		}
 	}
@@ -340,6 +344,27 @@ func (g *Sharded) TenantStats() []TenantStats {
 // accounting stays with the home shard's tenant entry.
 func (g *Sharded) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
 	return g.home(tenant).Call(tenant, k, a)
+}
+
+// CallDelta submits one incremental request (see Server.CallDelta) on
+// the tenant's home shard.
+func (g *Sharded) CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta) error {
+	return g.home(tenant).CallDelta(tenant, k, a, d)
+}
+
+// Cache returns the result cache shared by every shard (the template
+// Config's Cache pointer), nil when caching is off.
+func (g *Sharded) Cache() *rescache.Cache { return g.cfg.Cache }
+
+// BumpGeneration invalidates every result cached for tenant. The
+// cache is shared across shards, so one bump is visible to all of
+// them — including a thief shard serving the tenant's migrated
+// requests.
+func (g *Sharded) BumpGeneration(tenant string) uint64 {
+	if c := g.cfg.Cache; c != nil {
+		return c.Bump(tenant)
+	}
+	return 0
 }
 
 // Sort sorts xs in place on the tenant's home shard (or migrated

@@ -29,6 +29,7 @@ import (
 	"repro/internal/psel"
 	"repro/internal/psort"
 	"repro/internal/pstencil"
+	"repro/internal/rescache"
 	"repro/internal/scratch"
 	"repro/internal/seq"
 	"repro/internal/serve"
@@ -102,8 +103,9 @@ type (
 	Server = serve.Server
 	// ServerConfig shapes a Server (worker count, batch bounds and
 	// window, per-tenant queue bound, load thresholds, pipeline
-	// cutoff, the per-request SLO deadline budget, and the
-	// executor/scratch/adaptive runtimes it serves on).
+	// cutoff, the per-request SLO deadline budget, an optional
+	// ResultCache fronting admission, and the executor/scratch/
+	// adaptive runtimes it serves on).
 	ServerConfig = serve.Config
 	// ServerStats is a snapshot of a server's admission and batching
 	// counters.
@@ -125,6 +127,21 @@ type (
 	// ShardedServerStats is a snapshot of a sharded server's
 	// aggregate, per-shard and migration counters.
 	ShardedServerStats = serve.ShardedStats
+	// ResultCache is the generation-stamped result cache: keyed on
+	// (tenant, kernel, input fingerprint, tenant generation), it lets
+	// a Server recognize repeated requests at the door and restore
+	// their stored outputs with zero kernel work. Build one with
+	// NewResultCache and hand it to ServerConfig.Cache (shards of a
+	// ShardedServer share the one instance, so migrated requests can
+	// never resurrect an invalidated entry). Server.BumpGeneration
+	// invalidates a tenant's entries when its data changes.
+	ResultCache = rescache.Cache
+	// ResultCacheConfig shapes a ResultCache (scratch pool for entry
+	// buffers, total byte bound for the LRU).
+	ResultCacheConfig = rescache.Config
+	// ResultCacheStats is a snapshot of a result cache's occupancy
+	// and hit/miss/eviction/invalidation counters.
+	ResultCacheStats = rescache.Stats
 )
 
 // Admission-control errors returned by Server request methods.
@@ -227,6 +244,25 @@ func NewPipeline(cfg PipelineConfig) *Pipeline { return pipeline.New(cfg) }
 // internal/serve for the admission ladder and fairness semantics, and
 // `parbench -serve` for a multi-tenant traffic demo.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// NewResultCache creates a generation-stamped result cache to hand to
+// ServerConfig.Cache. Repeated requests — same tenant, kernel and
+// input bytes since the tenant's last BumpGeneration — are then served
+// from the cache at the server's door, with the kernel run and the
+// batch queue both skipped:
+//
+//	srv := repro.NewServer(repro.ServerConfig{Cache: repro.NewResultCache(repro.ResultCacheConfig{})})
+//	defer srv.Close()
+//	_ = srv.Sort("tenant-a", xs) // cold: runs, result stored
+//	_ = srv.Sort("tenant-a", xs) // warm: restored, zero kernel work
+//	srv.BumpGeneration("tenant-a") // tenant-a's data changed: entries die
+//
+// The zero ResultCacheConfig draws entry buffers from the process-wide
+// scratch pool and bounds the LRU at 64 MiB. See internal/rescache for
+// keying and invalidation semantics, `parbench -serve -cache on` for a
+// traffic demo, and experiment E27 for the cold/warm/delta latency
+// table.
+func NewResultCache(cfg ResultCacheConfig) *ResultCache { return rescache.New(cfg) }
 
 // NewShardedServer creates a sharded request-serving runtime and
 // starts one batch dispatcher per shard; Close it when done. It

@@ -99,7 +99,7 @@ func TestFacadeMatMulJacobi(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 26 || ids[0] != "E1" {
+	if len(ids) != 27 || ids[0] != "E1" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	var buf bytes.Buffer
@@ -278,6 +278,39 @@ func TestFacadeServerSLO(t *testing.T) {
 	}
 	if ErrRequestDeadlineExceeded == nil || ErrRequestDeadlineExceeded.Error() == "" {
 		t.Fatal("ErrRequestDeadlineExceeded not exported")
+	}
+}
+
+func TestFacadeResultCache(t *testing.T) {
+	cache := NewResultCache(ResultCacheConfig{})
+	srv := NewServer(ServerConfig{Cache: cache})
+	defer srv.Close()
+	xs := []int64{9, 1, 7}
+	for i := 0; i < 3; i++ {
+		copy(xs, []int64{9, 1, 7})
+		if err := srv.Sort("tenant-a", xs); err != nil {
+			t.Fatalf("sort %d: %v", i, err)
+		}
+		if xs[0] != 1 || xs[2] != 9 {
+			t.Fatalf("sorted = %v", xs)
+		}
+	}
+	if st := srv.Stats(); st.CacheHits != 2 || st.CacheMisses != 1 {
+		t.Fatalf("server cache counters = %+v, want 2 hits / 1 miss", st)
+	}
+	var cs ResultCacheStats = cache.Stats()
+	if cs.Hits != 2 || cs.Entries != 1 {
+		t.Fatalf("cache stats = %+v", cs)
+	}
+	// Invalidation: the tenant's data changed, so the entry must die
+	// and the same bytes must recompute.
+	srv.BumpGeneration("tenant-a")
+	copy(xs, []int64{9, 1, 7})
+	if err := srv.Sort("tenant-a", xs); err != nil {
+		t.Fatalf("post-bump sort: %v", err)
+	}
+	if cs := cache.Stats(); cs.Invalidations != 1 || cs.Hits != 2 {
+		t.Fatalf("post-bump cache stats = %+v", cs)
 	}
 }
 

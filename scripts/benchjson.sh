@@ -15,12 +15,17 @@
 #                              vs radix vs counting vs adaptive dispatch
 #                              across narrow-16-bit and wide
 #                              nearly-sorted keys)
+#   BENCH_serve_cache.json     the result-cache suite (the same sort
+#                              endpoint served cold / warm-hit / via
+#                              delta append; warm must hold 0 allocs-
+#                              per-op and hits-frac 1.0)
 #
 # Run from anywhere.
 #
 #   BENCH_OUT=path           serve output file (default BENCH_serve.json)
 #   BENCH_OPENLOOP_OUT=path  open-loop output file (default BENCH_serve_openloop.json)
 #   BENCH_KERNELS_OUT=path   kernel output file (default BENCH_kernels.json)
+#   BENCH_CACHE_OUT=path     result-cache output file (default BENCH_serve_cache.json)
 #   BENCHTIME=spec           go -benchtime value (default 1000x; CI uses 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +33,7 @@ cd "$(dirname "$0")/.."
 serve_out="${BENCH_OUT:-BENCH_serve.json}"
 openloop_out="${BENCH_OPENLOOP_OUT:-BENCH_serve_openloop.json}"
 kernels_out="${BENCH_KERNELS_OUT:-BENCH_kernels.json}"
+cache_out="${BENCH_CACHE_OUT:-BENCH_serve_cache.json}"
 benchtime="${BENCHTIME:-1000x}"
 
 # bench_to_json: parse `go test -bench` benchmem output on stdin into a
@@ -71,3 +77,4 @@ run_suite() {
 run_suite 'BenchmarkTrafficServe(Skew)?$' ./internal/serve "$serve_out"
 run_suite 'BenchmarkTrafficServeOpenLoop$' ./internal/serve "$openloop_out"
 run_suite 'BenchmarkSort(Narrow16|Wide64)' ./internal/kernel "$kernels_out"
+run_suite 'BenchmarkTrafficServeCache$' ./internal/serve "$cache_out"
