@@ -15,6 +15,8 @@
 //	parbench -serve              # multi-tenant request-serving demo
 //	parbench -serve -openloop -rate 2000 -slo 10ms
 //	                             # open-loop schedule-driven traffic
+//	parbench -serve -wire loopback
+//	                             # same demo over a real socket
 //
 // Flags -procs, -vprocs, -reps and -seed control the sweep; -executor
 // selects the dispatch runtime (shared persistent pool, a dedicated
@@ -43,7 +45,13 @@
 // values are rejected with a usage error, never silently defaulted;
 // -pipeline and -serve are mutually exclusive, and the open-loop
 // knobs require the modes they refine (-openloop needs -serve; -rate
-// and -arrival need -openloop; -slo needs -serve).
+// and -arrival need -openloop; -slo needs -serve). -wire reruns a
+// -serve demo over the binary wire protocol (internal/wire) instead
+// of in-process calls: 'loopback' spins an in-process listener on a
+// real TCP socket (the CI smoke path), 'host:port' or 'unix:PATH'
+// target a running parserve — where -cache is refused, because cache
+// invalidation (BumpGeneration) is server-side state the protocol
+// does not carry.
 package main
 
 import (
@@ -72,6 +80,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/scratch"
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -108,6 +117,8 @@ func main() {
 			"with -serve -cache on (closed-loop only): 'on' mixes incremental standing-query traffic into the demo — each client maintains a sorted record through CallDelta appends instead of re-sorting — or 'off' (the default)")
 		sloFlag = flag.Duration("slo", 0,
 			"with -serve: per-request deadline budget (e.g. 10ms); requests predicted or observed to miss it are refused with ErrDeadlineExceeded instead of served late (0 = no deadlines)")
+		wireFlag = flag.String("wire", "",
+			"with -serve: drive the demo over the binary wire protocol instead of in-process calls — 'loopback' spins an in-process listener on a real TCP socket, 'host:port' or 'unix:PATH' targets a running parserve")
 		kernelsFlag = flag.Bool("kernels", false, "list the kernel registry (name, variants, stream/relation wiring) and exit")
 		kernelFlag  = flag.String("kernel", "",
 			"run one registered kernel through every ladder — dispatched one-shot vs serial oracle, each variant, and the serve batch path — and print verified timings instead of experiments")
@@ -165,6 +176,12 @@ func main() {
 	if deltaOn && *openLoop {
 		fatalf("-delta on requires the closed-loop demo (drop -openloop: standing-query records are per-client state)")
 	}
+	if *wireFlag != "" && !*serveMode {
+		fatalf("-wire requires -serve")
+	}
+	if cacheOn && *wireFlag != "" && *wireFlag != "loopback" {
+		fatalf("-cache on requires -wire loopback or in-process (BumpGeneration is server-side state the wire protocol does not carry)")
+	}
 
 	if *list {
 		fmt.Println("id    ref       title")
@@ -219,10 +236,10 @@ func main() {
 			if rate == 0 {
 				rate = 2000
 			}
-			if err := runOpenLoopDemo(cfg, *shardsFlag, rate, poissonArrivals, *sloFlag, cacheOn, os.Stdout); err != nil {
+			if err := runOpenLoopDemo(cfg, *shardsFlag, rate, poissonArrivals, *sloFlag, cacheOn, *wireFlag, os.Stdout); err != nil {
 				fatalf("serve: %v", err)
 			}
-		} else if err := runServeDemo(cfg, *shardsFlag, *sloFlag, cacheOn, deltaOn, os.Stdout); err != nil {
+		} else if err := runServeDemo(cfg, *shardsFlag, *sloFlag, cacheOn, deltaOn, *wireFlag, os.Stdout); err != nil {
 			fatalf("serve: %v", err)
 		}
 		printRuntimeStats(cfg)
@@ -322,6 +339,11 @@ type demoFront struct {
 	sharded *serve.Sharded
 	workers int
 	scfg    serve.Config
+	// Wire mode: wl is the loopback listener (nil against a remote
+	// parserve, and in plain in-process mode), wf the client pool the
+	// demo traffic runs through.
+	wl *wire.Listener
+	wf *wireFront
 }
 
 // buildServeFront constructs a demo server: one batched Server, or a
@@ -329,8 +351,18 @@ type demoFront struct {
 // diffusive balancer migrates backlog; each shard owns its executor
 // and scratch pool, so cfg.Executor is unused there). slo threads the
 // deadline budget into the admission ladder; maxQueue overrides the
-// per-tenant queue bound (0 = serve's default).
-func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue int, cacheOn bool) *demoFront {
+// per-tenant queue bound (0 = serve's default). A non-empty wireAddr
+// reroutes the demo traffic over the binary wire protocol: "loopback"
+// spins an in-process listener on a real TCP socket in front of the
+// server just built, any other value targets a running parserve (and
+// no local server is built at all — the admission counters live on
+// the far side).
+func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue int, cacheOn bool, wireAddr string) *demoFront {
+	if wireAddr != "" && wireAddr != "loopback" {
+		network, addr := wireTarget(wireAddr)
+		wf := newWireFront(network, addr, nil)
+		return &demoFront{front: wf, wf: wf}
+	}
 	workers := 4
 	if len(cfg.Procs) > 0 {
 		workers = cfg.Procs[len(cfg.Procs)-1]
@@ -374,13 +406,34 @@ func buildServeFront(cfg core.Config, shards int, slo time.Duration, maxQueue in
 		d.single = serve.New(scfg)
 		d.front = d.single
 	}
+	if wireAddr == "loopback" {
+		var backend wire.Backend = d.single
+		if d.sharded != nil {
+			backend = d.sharded
+		}
+		wl, err := wire.Listen("tcp", "127.0.0.1:0", backend, wire.Config{})
+		if err != nil {
+			fatalf("wire: listen: %v", err)
+		}
+		d.wl = wl
+		// The local front stays reachable through the client pool for
+		// the surfaces the protocol does not carry.
+		d.wf = newWireFront("tcp", wl.Addr().String(), d.front)
+		d.front = d.wf
+	}
 	return d
 }
 
 func (d *demoFront) close() {
+	if d.wf != nil {
+		d.wf.closeClients()
+	}
+	if d.wl != nil {
+		d.wl.Close()
+	}
 	if d.sharded != nil {
 		d.sharded.Close()
-	} else {
+	} else if d.single != nil {
 		d.single.Close()
 	}
 }
@@ -395,6 +448,16 @@ func (d *demoFront) stats() serve.Stats {
 // printServeStats prints the admission/batching/deadline counters
 // line plus, for sharded servers, the migration and per-shard lines.
 func (d *demoFront) printServeStats(w io.Writer) {
+	if d.wf != nil {
+		if d.wl == nil {
+			fmt.Fprintf(w, "wire: remote %s %s — admission counters live on the parserve side\n",
+				d.wf.network, d.wf.addr)
+			return
+		}
+		ws := d.wl.Stats()
+		fmt.Fprintf(w, "wire: loopback %s | conns=%d requests=%d responses=%d chunks=%d errors=%d\n",
+			d.wf.addr, ws.Conns, ws.Requests, ws.Responses, ws.Chunks, ws.Errors)
+	}
 	st := d.stats()
 	avg := 0.0
 	if st.Batches > 0 {
@@ -476,9 +539,9 @@ func demoPayload(n int, seed uint64) []int64 {
 // repeated-payload requests become hits) and with deltaOn each client
 // additionally maintains a standing sorted record through CallDelta
 // appends — the incremental path — instead of re-sorting from scratch.
-func runServeDemo(cfg core.Config, shards int, slo time.Duration, cacheOn, deltaOn bool, w io.Writer) error {
+func runServeDemo(cfg core.Config, shards int, slo time.Duration, cacheOn, deltaOn bool, wireAddr string, w io.Writer) error {
 	// Small queue bound: lets the hot tenant's backpressure show.
-	d := buildServeFront(cfg, shards, slo, 4, cacheOn)
+	d := buildServeFront(cfg, shards, slo, 4, cacheOn, wireAddr)
 	defer d.close()
 	srv := d.front
 
@@ -605,12 +668,16 @@ func runServeDemo(cfg core.Config, shards int, slo time.Duration, cacheOn, delta
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	if d.sharded != nil {
+	switch {
+	case d.sharded != nil:
 		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), %d shards × W=%d, %d requests\n",
 			d.sharded.Shards(), d.sharded.Executors().Shard(0).Procs(), total)
-	} else {
+	case d.single != nil:
 		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), W=%d, %d requests\n",
 			d.workers, total)
+	default:
+		fmt.Fprintf(w, "== request-serving traffic demo — 4 tenants (hot ×8 clients, t1..t3 ×2), remote server, %d requests\n",
+			total)
 	}
 	d.printServeStats(w)
 	fmt.Fprintf(w, "clients: issued=%d ok=%d errored=%d retried=%d (hot=%d t1=%d t2=%d t3=%d) deadline-refused=%d",
@@ -627,6 +694,13 @@ func runServeDemo(cfg core.Config, shards int, slo time.Duration, cacheOn, delta
 		perf.FormatDuration(perf.Percentile(all, 99)),
 		float64(len(all))/wall.Seconds(), wall.Round(time.Millisecond))
 	printTenantStats(w, srv)
+	if len(all) == 0 {
+		// Errored clients keep serving so the denominator stays
+		// honest, but a run where *nothing* succeeded is a dead
+		// server, not a demo — exiting 0 here would let a CI smoke
+		// against an unreachable backend pass silently.
+		return fmt.Errorf("no request succeeded (%d issued, %d errored) — backend unreachable or every call failed", total, errored.Load())
+	}
 	return nil
 }
 
@@ -653,8 +727,8 @@ func printTenantStats(w io.Writer, srv serveFront) {
 // clients line. The queue bound stays at serve's default so queueing
 // (the thing the corrected clock exists to see) is not clipped by the
 // demo's backpressure setting.
-func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, slo time.Duration, cacheOn bool, w io.Writer) error {
-	d := buildServeFront(cfg, shards, slo, 0, cacheOn)
+func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, slo time.Duration, cacheOn bool, wireAddr string, w io.Writer) error {
+	d := buildServeFront(cfg, shards, slo, 0, cacheOn, wireAddr)
 	defer d.close()
 	srv := d.front
 
@@ -709,12 +783,16 @@ func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, sl
 	rejected := res.Failed(func(err error) bool { return errors.Is(err, serve.ErrRejected) })
 	deadlined := res.Failed(func(err error) bool { return errors.Is(err, serve.ErrDeadlineExceeded) })
 	other := rep.Errors - rejected - deadlined
-	if d.sharded != nil {
+	switch {
+	case d.sharded != nil:
 		fmt.Fprintf(w, "== open-loop serving demo — 4 tenants (hot-weighted), %d shards × W=%d, %d arrivals at %.0f req/s (%s), slo=%v\n",
 			d.sharded.Shards(), d.sharded.Executors().Shard(0).Procs(), total, rate, arrival, slo)
-	} else {
+	case d.single != nil:
 		fmt.Fprintf(w, "== open-loop serving demo — 4 tenants (hot-weighted), W=%d, %d arrivals at %.0f req/s (%s), slo=%v\n",
 			d.workers, total, rate, arrival, slo)
+	default:
+		fmt.Fprintf(w, "== open-loop serving demo — 4 tenants (hot-weighted), remote server, %d arrivals at %.0f req/s (%s), slo=%v\n",
+			total, rate, arrival, slo)
 	}
 	d.printServeStats(w)
 	fmt.Fprintf(w, "clients: sent=%d ok=%d rejected=%d deadline-refused=%d errors=%d | offered=%.0f req/s achieved=%.0f req/s over %s\n",
@@ -729,6 +807,12 @@ func runOpenLoopDemo(cfg core.Config, shards int, rate float64, poisson bool, sl
 		perf.FormatDuration(rep.CorrectedP95),
 		perf.FormatDuration(rep.CorrectedP99))
 	printTenantStats(w, srv)
+	if rep.OK == 0 {
+		// Same dead-backend guard as the closed-loop demo: percentile
+		// rows over zero samples prove nothing, and a CI smoke against
+		// an unreachable server must fail, not print empty stats.
+		return fmt.Errorf("no arrival succeeded (%d sent, %d rejected, %d errors) — backend unreachable or every call failed", rep.Sent, rejected, other)
+	}
 	return nil
 }
 

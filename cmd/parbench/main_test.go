@@ -113,7 +113,7 @@ func TestPipelineDemo(t *testing.T) {
 // lines appear with every request accounted for.
 func TestServeDemo(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 0, 0, false, false, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, 0, false, false, "", &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -133,7 +133,7 @@ func TestServeDemo(t *testing.T) {
 // request accounted for across shards.
 func TestServeDemoSharded(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 2, 0, false, false, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 2, 0, false, false, "", &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -154,7 +154,7 @@ func TestServeDemoSharded(t *testing.T) {
 // offered/achieved rate accounting appear.
 func TestOpenLoopDemo(t *testing.T) {
 	var buf strings.Builder
-	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, false, &buf); err != nil {
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, false, "", &buf); err != nil {
 		t.Fatalf("runOpenLoopDemo: %v", err)
 	}
 	out := buf.String()
@@ -173,7 +173,7 @@ func TestOpenLoopDemo(t *testing.T) {
 // with the corrected/uncorrected rows.
 func TestOpenLoopDemoConstSharded(t *testing.T) {
 	var buf strings.Builder
-	if err := runOpenLoopDemo(core.Config{Quick: true}, 2, 4000, false, 0, false, &buf); err != nil {
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 2, 4000, false, 0, false, "", &buf); err != nil {
 		t.Fatalf("runOpenLoopDemo: %v", err)
 	}
 	out := buf.String()
@@ -190,7 +190,7 @@ func TestOpenLoopDemoConstSharded(t *testing.T) {
 // deadline counters must be reported.
 func TestServeDemoWithSLO(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 0, 50*time.Millisecond, false, false, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, 50*time.Millisecond, false, false, "", &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -206,7 +206,7 @@ func TestServeDemoWithSLO(t *testing.T) {
 // hit, and the cache stats line must be printed.
 func TestServeDemoWithCache(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 0, 0, true, false, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 0, 0, true, false, "", &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -227,7 +227,7 @@ func TestServeDemoWithCache(t *testing.T) {
 // mix, sharded, and checks the standing-query traffic is counted.
 func TestServeDemoWithCacheAndDelta(t *testing.T) {
 	var buf strings.Builder
-	if err := runServeDemo(core.Config{Quick: true}, 2, 0, true, true, &buf); err != nil {
+	if err := runServeDemo(core.Config{Quick: true}, 2, 0, true, true, "", &buf); err != nil {
 		t.Fatalf("runServeDemo: %v", err)
 	}
 	out := buf.String()
@@ -245,11 +245,45 @@ func TestServeDemoWithCacheAndDelta(t *testing.T) {
 // cache on (delta stays closed-loop-only by flag validation).
 func TestOpenLoopDemoWithCache(t *testing.T) {
 	var buf strings.Builder
-	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, true, &buf); err != nil {
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 0, 4000, true, 0, true, "", &buf); err != nil {
 		t.Fatalf("runOpenLoopDemo: %v", err)
 	}
 	out := buf.String()
 	for _, want := range []string{"cache: hits=", "latency (corrected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeDemoWire smoke-runs the closed-loop demo over the loopback
+// wire listener: the same traffic crosses a real TCP socket, so the
+// listener's frame counters appear next to the admission stats and
+// every request still drains.
+func TestServeDemoWire(t *testing.T) {
+	var buf strings.Builder
+	if err := runServeDemo(core.Config{Quick: true}, 0, 0, false, false, "loopback", &buf); err != nil {
+		t.Fatalf("runServeDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wire: loopback", "conns=", "responses=",
+		"serve: accepted=", "completed=2000", "tenant hot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOpenLoopDemoWireSharded covers the open-loop driver over the
+// loopback listener in front of a sharded server — the full remote
+// stack: socket, listener, shard routing, corrected percentiles.
+func TestOpenLoopDemoWireSharded(t *testing.T) {
+	var buf strings.Builder
+	if err := runOpenLoopDemo(core.Config{Quick: true}, 2, 4000, false, 0, false, "loopback", &buf); err != nil {
+		t.Fatalf("runOpenLoopDemo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wire: loopback", "2 shards", "latency (corrected"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -274,7 +308,7 @@ func TestParseInts(t *testing.T) {
 
 func TestSelectIDs(t *testing.T) {
 	all := selectIDs("all")
-	if len(all) != 27 {
+	if len(all) != 28 {
 		t.Fatalf("all = %v", all)
 	}
 	some := selectIDs(" E1 ,E5,")

@@ -137,8 +137,8 @@ func TestByID(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(Experiments) != 27 {
-		t.Fatalf("suite has %d experiments, want 27 (14 core + 13 extensions)", len(Experiments))
+	if len(Experiments) != 28 {
+		t.Fatalf("suite has %d experiments, want 28 (14 core + 14 extensions)", len(Experiments))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments {

@@ -41,6 +41,11 @@ type request struct {
 	// admitting server has no SLO). It rides the struct through
 	// migration, so a thief shard enforces the home shard's budget.
 	deadline time.Time
+	// budget is a per-request deadline budget overriding Config.SLO
+	// when positive — the wire front door sets it from frame metadata
+	// so a remote client's own SLO governs its request. Only the
+	// absolute deadline stamp derived from it rides migration.
+	budget time.Duration
 
 	args kernel.Args
 	// delta rides incremental requests (CallDelta): when isDelta is
@@ -176,6 +181,15 @@ func (s *Server) streamOne(tenantName string, k *kernel.Kernel, a *kernel.Args) 
 // batch with other tenants' and keep the steady state allocation-
 // free: the request record is pooled and a's fields move by value.
 func (s *Server) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
+	return s.CallBudget(tenant, k, a, 0)
+}
+
+// CallBudget is Call with a per-request deadline budget: when budget
+// is positive it replaces Config.SLO for this request's admission
+// prediction and queue-expiry stamp (the wire front door sets it from
+// frame metadata so a remote client's own SLO governs). A zero budget
+// inherits the server SLO, making Call a budget-0 wrapper.
+func (s *Server) CallBudget(tenant string, k *kernel.Kernel, a *kernel.Args, budget time.Duration) error {
 	if k == nil {
 		return fmt.Errorf("serve: Call with nil kernel")
 	}
@@ -206,6 +220,7 @@ func (s *Server) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
 		s.cacheMisses.Add(1)
 	}
 	r := s.getRequest(k, tenant, a)
+	r.budget = budget
 	if k.Validate != nil {
 		if err := k.Validate(&r.args); err != nil {
 			s.putRequest(r)
@@ -232,6 +247,12 @@ func (s *Server) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
 // path never touches the result cache: entries describing the
 // pre-delta input remain correct for that input.
 func (s *Server) CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta) error {
+	return s.CallDeltaBudget(tenant, k, a, d, 0)
+}
+
+// CallDeltaBudget is CallDelta with a per-request deadline budget,
+// with the same override semantics as CallBudget.
+func (s *Server) CallDeltaBudget(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta, budget time.Duration) error {
 	if k == nil {
 		return fmt.Errorf("serve: CallDelta with nil kernel")
 	}
@@ -239,6 +260,7 @@ func (s *Server) CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *k
 		return fmt.Errorf("serve: kernel %s has no delta adapter", k.Name)
 	}
 	r := s.getRequest(k, tenant, a)
+	r.budget = budget
 	r.delta = *d
 	r.isDelta = true
 	err := s.submit(r)

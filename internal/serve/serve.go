@@ -492,7 +492,15 @@ func (s *Server) submit(r *request) error {
 		s.rejected.Add(1)
 		return ErrRejected
 	}
-	if slo := s.cfg.SLO; slo > 0 {
+	slo := s.cfg.SLO
+	if r.budget > 0 {
+		// A per-request budget (stamped by the wire front door from
+		// frame metadata) overrides the server-wide SLO: the client's
+		// own deadline governs its request. Budget-less requests fall
+		// back to Config.SLO, so in-process callers see no change.
+		slo = r.budget
+	}
+	if slo > 0 {
 		// Deadline rung: predict this request's completion as (queued
 		// ahead + itself) times the EWMA of per-request batch service
 		// time. A request that already cannot make its budget is
@@ -741,7 +749,15 @@ func (s *Server) dispatch() {
 				s.mu.Unlock()
 				migrated := steal()
 				s.mu.Lock()
-				if migrated > 0 {
+				if migrated > 0 || s.queued > 0 || s.closed {
+					// A successful steal leaves requests on our
+					// queues — but so can a local submit, a sibling's
+					// push migration, or a Close that ran while the
+					// lock was dropped for the probe. Their
+					// cond.Signal found no waiter and was a no-op, so
+					// falling into Wait here would sleep on a wakeup
+					// that already happened; re-check the predicate
+					// instead.
 					continue
 				}
 			}

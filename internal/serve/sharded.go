@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/exec"
@@ -346,10 +347,24 @@ func (g *Sharded) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
 	return g.home(tenant).Call(tenant, k, a)
 }
 
+// CallBudget is Call with a per-request deadline budget (see
+// Server.CallBudget) on the tenant's home shard. The absolute stamp
+// derived from the budget rides migration, so a thief shard enforces
+// the remote client's budget exactly as it enforces a home SLO.
+func (g *Sharded) CallBudget(tenant string, k *kernel.Kernel, a *kernel.Args, budget time.Duration) error {
+	return g.home(tenant).CallBudget(tenant, k, a, budget)
+}
+
 // CallDelta submits one incremental request (see Server.CallDelta) on
 // the tenant's home shard.
 func (g *Sharded) CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta) error {
 	return g.home(tenant).CallDelta(tenant, k, a, d)
+}
+
+// CallDeltaBudget is CallDelta with a per-request deadline budget on
+// the tenant's home shard.
+func (g *Sharded) CallDeltaBudget(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta, budget time.Duration) error {
+	return g.home(tenant).CallDeltaBudget(tenant, k, a, d, budget)
 }
 
 // Cache returns the result cache shared by every shard (the template

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// Client speaks the wire protocol from the caller's side of a socket.
+// It presents the same budget-carrying call surface as the serving
+// layer (it satisfies Backend), so code written against a
+// serve.Server runs unchanged against a remote one. Calls are
+// serialized per client — the protocol is strictly request/response
+// on one connection — so concurrency comes from one Client per
+// goroutine (or a small pool), mirroring how the listener scales by
+// connection.
+type Client struct {
+	mu   sync.Mutex
+	c    net.Conn
+	id   uint64
+	lenb [4]byte
+	// Reused frame buffers: write, read, and stream reassembly. Warm
+	// round trips with stable payload sizes allocate nothing.
+	wbuf, rbuf, sbuf []byte
+	maxFrame         int
+}
+
+var _ Backend = (*Client)(nil)
+
+// Dial connects to a wire listener ("tcp", "host:port" or "unix",
+// "/path.sock").
+func Dial(network, addr string) (*Client, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection. It takes ownership:
+// Close closes the connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, maxFrame: DefaultMaxFrame}
+}
+
+// Close closes the underlying connection.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.c.Close()
+}
+
+// Call sends one request and decodes the reply into a — the remote
+// mirror of serve's Call, inheriting the server-side SLO.
+func (cl *Client) Call(tenant string, k *kernel.Kernel, a *kernel.Args) error {
+	return cl.roundTrip(tenant, k, a, nil, 0)
+}
+
+// CallBudget is Call with a per-request deadline budget carried in
+// the frame metadata: the server's admission ladder enforces it as if
+// it were that request's SLO.
+func (cl *Client) CallBudget(tenant string, k *kernel.Kernel, a *kernel.Args, budget time.Duration) error {
+	return cl.roundTrip(tenant, k, a, nil, budget)
+}
+
+// CallDelta sends one incremental request (serve.CallDelta over the
+// wire). The reply may be larger than the request — a sorted-merge
+// append grows Xs — in which case the decoded slice grows too.
+func (cl *Client) CallDelta(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta) error {
+	return cl.roundTrip(tenant, k, a, d, 0)
+}
+
+// CallDeltaBudget is CallDelta with a deadline budget.
+func (cl *Client) CallDeltaBudget(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta, budget time.Duration) error {
+	return cl.roundTrip(tenant, k, a, d, budget)
+}
+
+// roundTrip writes one request frame and reads frames until the
+// response completes: one response frame, or a run of chunk frames
+// closed by the geometry frame, or an error frame mapped back to the
+// serve sentinels.
+func (cl *Client) roundTrip(tenant string, k *kernel.Kernel, a *kernel.Args, d *kernel.Delta, budget time.Duration) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.id++
+	out, err := AppendRequest(cl.wbuf[:0], cl.id, tenant, k, a, d, budget)
+	cl.wbuf = out
+	if err != nil {
+		return err
+	}
+	if _, err := cl.c.Write(out); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	stream := cl.sbuf[:0]
+	for {
+		if _, err := io.ReadFull(cl.c, cl.lenb[:]); err != nil {
+			return fmt.Errorf("wire: read: %w", err)
+		}
+		n := int(nativeOrder.Uint32(cl.lenb[:]))
+		if n < headerSize || n > cl.maxFrame {
+			return fmt.Errorf("%w: response frame length %d", ErrFrameTooLarge, n)
+		}
+		cl.rbuf = ensure(cl.rbuf, n)
+		body := cl.rbuf
+		if _, err := io.ReadFull(cl.c, body); err != nil {
+			return fmt.Errorf("wire: read: %w", err)
+		}
+		h, err := DecodeHeader(body)
+		if err != nil {
+			return err
+		}
+		if h.ID != cl.id {
+			return fmt.Errorf("%w: response id %d, want %d", ErrBadFrame, h.ID, cl.id)
+		}
+		switch h.Type {
+		case frameResponse:
+			return decodeSectionsInto(body, headerSize, a, nil)
+		case frameChunk:
+			off := int(h.Aux)
+			payload := body[headerSize:]
+			if off < 0 || h.Aux > uint64(cl.maxFrame) || off+len(payload) > cl.maxFrame {
+				return fmt.Errorf("%w: chunk offset %d", ErrBadFrame, h.Aux)
+			}
+			stream = ensure(stream, max(len(stream), off+len(payload)))
+			copy(stream[off:], payload)
+			cl.sbuf = stream
+		case frameEnd:
+			cl.sbuf = stream
+			return decodeSectionsInto(body, headerSize, a, stream)
+		case frameError:
+			return DecodeError(h, body)
+		default:
+			return fmt.Errorf("%w: frame type %d mid-response", ErrBadFrame, h.Type)
+		}
+	}
+}

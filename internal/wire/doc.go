@@ -1,0 +1,39 @@
+// Package wire is the network front door: a length-prefixed binary
+// frame codec plus a Listener that serves framed requests over TCP or
+// Unix sockets onto an existing serve.Server or serve.Sharded, and a
+// Client that speaks the same frames from the other end.
+//
+// The codec is built for the read path to be zero-copy: a request
+// frame's body is read into a connection-owned slab drawn from
+// internal/scratch, and the decoder aliases the payload sections
+// directly as kernel.Args slices (unsafe casts of the 8-aligned slab,
+// the same trick scratch itself uses to carve typed buffers from
+// pooled byte slabs). The kernel then runs in place on the slab; no
+// per-request copy or allocation happens between the socket and the
+// batch slot. The slab is reused for the next frame only after the
+// response has been written, so aliasing is safe by construction: one
+// reader goroutine per connection serializes read → decode → call →
+// respond, and concurrency comes from many connections, exactly like
+// the double-buffered serving loops this layer is modeled on.
+//
+// Frame metadata carries an optional per-request deadline budget.
+// The listener stamps it into the admission path via CallBudget, so
+// the serve deadline ladder — door refusal on predicted wait, queue
+// expiry at batch formation, stamps riding migration to thief shards
+// — works end-to-end from a remote client. Budget-less frames inherit
+// the server's configured SLO.
+//
+// Responses travel through pooled per-connection write buffers.
+// Large replies (a pipeline-routed sort's output, say) are streamed
+// as chunked frames instead of one materialized reply: raw payload
+// chunks at increasing offsets, then a closing frame carrying the
+// scalars and the section geometry. The client reassembles them into
+// the same bytes a one-shot reply would have carried.
+//
+// The decoder never panics on hostile input: every length, offset and
+// count is bounds-checked, and malformed frames fail loudly with the
+// typed errors (ErrBadMagic, ErrTruncated, ErrFrameTooLarge, ...).
+// Frames use native byte order (that is what makes the in-place cast
+// legal) and carry an order sentinel so a cross-endian peer is
+// rejected with ErrBadOrder instead of silently misread.
+package wire

@@ -1,0 +1,307 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/par"
+)
+
+// parOptions runs kernels serially in tests: the codec is what is
+// under test, not the executor.
+func parOptions() par.Options {
+	return par.Options{Procs: 1, SerialCutoff: 1 << 62}
+}
+
+// decodeFrame strips the length prefix a full Append* frame carries
+// and hands the body to the decoder, checking the prefix is honest.
+func decodeFrame(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	if len(frame) < 4 {
+		t.Fatalf("frame too short for a length prefix: %d bytes", len(frame))
+	}
+	n := int(nativeOrder.Uint32(frame))
+	if n != len(frame)-4 {
+		t.Fatalf("length prefix %d, body %d", n, len(frame)-4)
+	}
+	return frame[4:]
+}
+
+func sameInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRequestRoundTrip pins encode→decode identity over every
+// registered kernel's generated argument record: slices, scalars and
+// graph topology survive the wire byte-for-byte, and the bucket
+// function (which cannot cross a socket) is replaced by the canonical
+// one with identical behavior on the generator's records.
+func TestRequestRoundTrip(t *testing.T) {
+	for _, k := range kernel.All() {
+		t.Run(k.Name, func(t *testing.T) {
+			a := k.Gen(257, 42)
+			frame, err := AppendRequest(nil, 7, "tenant-a", k, a, nil, 3*time.Millisecond)
+			if err != nil {
+				t.Fatalf("AppendRequest: %v", err)
+			}
+			body := decodeFrame(t, frame)
+			req, err := NewDecoder().DecodeRequest(body)
+			if err != nil {
+				t.Fatalf("DecodeRequest: %v", err)
+			}
+			if req.ID != 7 || req.Tenant != "tenant-a" || req.Kernel != k {
+				t.Fatalf("identity: id=%d tenant=%q kernel=%v", req.ID, req.Tenant, req.Kernel)
+			}
+			if req.Budget != 3*time.Millisecond {
+				t.Fatalf("budget = %v, want 3ms", req.Budget)
+			}
+			got, want := &req.Args, a
+			if !sameInt64s(got.Xs, want.Xs) {
+				t.Fatalf("Xs differ: %d vs %d elems", len(got.Xs), len(want.Xs))
+			}
+			if !sameInt64s(got.Dst, want.Dst) {
+				t.Fatalf("Dst differ")
+			}
+			if len(got.Hist) != len(want.Hist) {
+				t.Fatalf("Hist len %d, want %d", len(got.Hist), len(want.Hist))
+			}
+			for i := range got.Hist {
+				if got.Hist[i] != want.Hist[i] {
+					t.Fatalf("Hist[%d] = %d, want %d", i, got.Hist[i], want.Hist[i])
+				}
+			}
+			if len(got.Dist) != len(want.Dist) {
+				t.Fatalf("Dist len %d, want %d", len(got.Dist), len(want.Dist))
+			}
+			if got.K != want.K || got.Src != want.Src || got.Out != want.Out || got.Seed != want.Seed {
+				t.Fatalf("scalars differ: %+v vs %+v", got, want)
+			}
+			if (got.G == nil) != (want.G == nil) {
+				t.Fatalf("graph presence differs")
+			}
+			if want.G != nil {
+				if got.G.N() != want.G.N() || got.G.M() != want.G.M() {
+					t.Fatalf("graph shape %d/%d, want %d/%d", got.G.N(), got.G.M(), want.G.N(), want.G.M())
+				}
+				ge, we := got.G.Edges(), want.G.Edges()
+				for i := range we {
+					if ge[i].U != we[i].U || ge[i].V != we[i].V {
+						t.Fatalf("edge %d: %v vs %v", i, ge[i], we[i])
+					}
+				}
+			}
+			if want.Bucket != nil {
+				if got.Bucket == nil {
+					t.Fatalf("bucket not installed for %s", k.Name)
+				}
+				for _, v := range append(append([]int64{}, want.Xs...), -1, 0, 1, 1<<40, -1<<40) {
+					if got.Bucket(v) != want.Bucket(v) {
+						t.Fatalf("bucket(%d) = %d, want %d", v, got.Bucket(v), want.Bucket(v))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaRoundTrip pins the delta sections: append payloads and
+// edge lists survive and the delta flag is honored.
+func TestDeltaRoundTrip(t *testing.T) {
+	k := kernel.MustLookup("sort")
+	a := k.Gen(64, 9)
+	k.Run(a, parOptions())
+	d := &kernel.Delta{Append: []int64{5, -3, 99}}
+	frame, err := AppendRequest(nil, 1, "t", k, a, d, 0)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	req, err := NewDecoder().DecodeRequest(decodeFrame(t, frame))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if !req.IsDelta {
+		t.Fatalf("delta flag lost")
+	}
+	if !sameInt64s(req.Delta.Append, d.Append) {
+		t.Fatalf("delta append differs: %v", req.Delta.Append)
+	}
+}
+
+// TestResponseRoundTrip pins one-shot response decoding for each
+// output shape: in-place Xs (sort), Dst (scan/topk), Hist, Dist
+// (bfs), and scalar-only (sum/select).
+func TestResponseRoundTrip(t *testing.T) {
+	for _, name := range []string{"sort", "scan", "histogram", "bfs", "sum", "topk", "cc"} {
+		t.Run(name, func(t *testing.T) {
+			k := kernel.MustLookup(name)
+			a := k.Gen(193, 3)
+			k.Run(a, parOptions())
+			frame := AppendResponse(nil, 11, k, a)
+			var got kernel.Args
+			// Seed the caller-side record the way a client would: same
+			// input geometry, outputs to be overwritten.
+			got.Xs = make([]int64, len(a.Xs))
+			got.Dst = make([]int64, len(a.Dst))
+			got.Hist = make([]int, len(a.Hist))
+			h, err := DecodeResponseInto(decodeFrame(t, frame), &got)
+			if err != nil {
+				t.Fatalf("DecodeResponseInto: %v", err)
+			}
+			if h.ID != 11 {
+				t.Fatalf("id = %d", h.ID)
+			}
+			p := planResponse(k, a)
+			switch p.tag {
+			case secXs:
+				if !sameInt64s(got.Xs, a.Xs) {
+					t.Fatalf("Xs differ")
+				}
+			case secDst:
+				if !sameInt64s(got.Dst, a.Dst) {
+					t.Fatalf("Dst differ")
+				}
+			case secHist:
+				for i := range a.Hist {
+					if got.Hist[i] != a.Hist[i] {
+						t.Fatalf("Hist[%d] differs", i)
+					}
+				}
+			case secDist:
+				if len(got.Dist) != len(a.Dist) {
+					t.Fatalf("Dist len %d, want %d", len(got.Dist), len(a.Dist))
+				}
+				for i := range a.Dist {
+					if got.Dist[i] != a.Dist[i] {
+						t.Fatalf("Dist[%d] differs", i)
+					}
+				}
+			}
+			if got.Out != a.Out || got.Seed != a.Seed {
+				t.Fatalf("scalars differ: out %d vs %d", got.Out, a.Out)
+			}
+		})
+	}
+}
+
+// TestDecodeTypedErrors pins the loud-rejection contract: bad magic,
+// bad version, cross-endian sentinel, truncation and hostile section
+// counts each land on their typed error, never a panic.
+func TestDecodeTypedErrors(t *testing.T) {
+	k := kernel.MustLookup("sort")
+	a := k.Gen(32, 1)
+	frame, err := AppendRequest(nil, 1, "t", k, a, nil, 0)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	body := frame[4:]
+	dec := NewDecoder()
+
+	mut := func(f func(b []byte)) []byte {
+		cp := append([]byte(nil), body...)
+		f(cp)
+		return cp
+	}
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short-header", body[:headerSize-1], ErrTruncated},
+		{"bad-magic", mut(func(b []byte) { b[0] = 0x00 }), ErrBadMagic},
+		{"bad-version", mut(func(b []byte) { b[1] = 99 }), ErrBadVersion},
+		{"cross-endian", mut(func(b []byte) { b[4], b[5] = b[5], b[4] }), ErrBadOrder},
+		{"bad-type", mut(func(b []byte) { b[2] = 42 }), ErrBadFrame},
+		{"truncated-section", body[:len(body)-8], ErrTruncated},
+		{"oversized-count", mut(func(b []byte) {
+			// The Xs section header sits right after the padded names;
+			// inflate its count far past the body.
+			off := headerSize + align8(2+len("sort")+len("t"))
+			nativeOrder.PutUint32(b[off+4:], 1<<30)
+		}), ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := dec.DecodeRequest(tc.body)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCodecSteadyStateAllocs pins the zero-copy contract directly on
+// the codec: a warm encode+decode round trip of a request frame and a
+// response frame allocates nothing (slab-aliased decode, reused
+// buffers, interned tenant, cached bucket closure).
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	sort := kernel.MustLookup("sort")
+	hist := kernel.MustLookup("histogram")
+	sa := sort.Gen(512, 5)
+	ha := hist.Gen(512, 6)
+	dec := NewDecoder()
+	var reqBuf, respBuf []byte
+	var err error
+	// Warm every path once: buffers sized, tenant interned, bucket
+	// closure cached.
+	warm := func() {
+		reqBuf, err = AppendRequest(reqBuf[:0], 1, "tenant", sort, sa, nil, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err = dec.DecodeRequest(reqBuf[4:]); err != nil {
+			t.Fatal(err)
+		}
+		reqBuf, err = AppendRequest(reqBuf[:0], 2, "tenant", hist, ha, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err = dec.DecodeRequest(reqBuf[4:]); err != nil {
+			t.Fatal(err)
+		}
+		respBuf = AppendResponse(respBuf[:0], 1, sort, sa)
+		var out kernel.Args
+		out.Xs = make([]int64, len(sa.Xs))
+		if _, err = DecodeResponseInto(respBuf[4:], &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	// The decoder sees frame bodies at slab offset 0 (the listener
+	// reads the 4-byte prefix into a separate array), so the pin
+	// copies each body into an 8-aligned buffer exactly like the read
+	// path does — decoding at frame[4:] would hit the misaligned-copy
+	// fallback and measure the wrong thing.
+	body := make([]byte, 1<<16)
+	out := kernel.Args{Xs: make([]int64, len(sa.Xs))}
+	allocs := testing.AllocsPerRun(200, func() {
+		reqBuf, _ = AppendRequest(reqBuf[:0], 3, "tenant", sort, sa, nil, time.Millisecond)
+		n := copy(body, reqBuf[4:])
+		if _, err := dec.DecodeRequest(body[:n]); err != nil {
+			t.Fatal(err)
+		}
+		reqBuf, _ = AppendRequest(reqBuf[:0], 4, "tenant", hist, ha, nil, 0)
+		n = copy(body, reqBuf[4:])
+		if _, err := dec.DecodeRequest(body[:n]); err != nil {
+			t.Fatal(err)
+		}
+		respBuf = AppendResponse(respBuf[:0], 3, sort, sa)
+		n = copy(body, respBuf[4:])
+		if _, err := DecodeResponseInto(body[:n], &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("codec round trip allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the request decoder. The
+// contract under test: whatever arrives, the decoder either returns a
+// well-formed Request or one of the typed errors — it never panics,
+// never over-reads, and never turns hostile counts into huge
+// allocations (the graph node cap and section bounds checks are what
+// this fuzzer exercises). Seeds cover every registered kernel's
+// encoded Gen output plus the classic framing attacks.
+func FuzzFrameDecode(f *testing.F) {
+	for _, k := range kernel.All() {
+		a := k.Gen(64, 11)
+		frame, err := AppendRequest(nil, 1, "fuzz-tenant", k, a, nil, 0)
+		if err != nil {
+			f.Fatalf("seed encode %s: %v", k.Name, err)
+		}
+		f.Add(frame[4:])
+	}
+	if frame, err := AppendRequest(nil, 2, "t", kernel.MustLookup("sort"),
+		kernel.MustLookup("sort").Gen(16, 3), &kernel.Delta{Append: []int64{1, 2}}, 5000); err == nil {
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic})
+	f.Add(make([]byte, headerSize)) // zero header: bad magic
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dec := NewDecoder()
+		req, err := dec.DecodeRequest(body)
+		if err != nil {
+			// Every failure must be one of the typed sentinels so a
+			// listener can tell protocol mismatch from a bad frame.
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+				!errors.Is(err, ErrBadOrder) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrBadFrame) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if req.Kernel == nil {
+			t.Fatalf("nil kernel on successful decode")
+		}
+		// A decoded record must at least survive the kernel's own
+		// validator without panicking (errors are fine: the listener
+		// would bounce them as error frames).
+		if req.Kernel.Validate != nil {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("Validate panicked on decoded args: %v", p)
+					}
+				}()
+				_ = req.Kernel.Validate(&req.Args)
+			}()
+		}
+	})
+}

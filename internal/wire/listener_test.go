@@ -1,0 +1,558 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/par"
+	"repro/internal/scratch"
+	"repro/internal/serve"
+)
+
+// The gate kernel parks every request inside its batch slot until the
+// test opens the gate — the socket-level equivalent of the serve
+// suite's deadlineGate bucket, registered once for this test binary.
+// It is what lets deadline and migration tests hold a dispatcher
+// mid-batch deterministically from the far side of a socket.
+var gate struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// gateReset arms a fresh gate and returns the function that opens it.
+func gateReset() func() {
+	gate.mu.Lock()
+	ch := make(chan struct{})
+	gate.ch = ch
+	gate.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+func gatePark() {
+	gate.mu.Lock()
+	ch := gate.ch
+	gate.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+var gateKernel = kernel.Register(kernel.Kernel{
+	Name:     "wiregate",
+	Title:    "test kernel that parks until the gate opens",
+	Variants: []kernel.Variant{{Name: "park", Run: func(a *kernel.Args, _ par.Options) { gatePark() }}},
+	Serial:   func(a *kernel.Args) { gatePark() },
+	Gen:      func(n int, seed uint64) *kernel.Args { return &kernel.Args{Xs: []int64{int64(seed)}} },
+	Check:    func(got, want *kernel.Args) error { return nil },
+})
+
+// newWire spins a Server (or uses the one given) behind a TCP
+// listener and returns a connected client, with cleanup registered.
+func newWire(t *testing.T, backend Backend, cfg Config) (*Listener, *Client) {
+	t.Helper()
+	l, err := Listen("tcp", "127.0.0.1:0", backend, cfg)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	cl, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return l, cl
+}
+
+// TestWireEndToEnd drives every servable kernel shape through a real
+// socket and compares against a local run of the same record: the
+// wire path must be semantically invisible.
+func TestWireEndToEnd(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	_, cl := newWire(t, s, Config{})
+
+	for _, name := range []string{"sort", "select", "histogram", "scan", "sum", "bfs", "topk", "cc", "gups"} {
+		t.Run(name, func(t *testing.T) {
+			k := kernel.MustLookup(name)
+			local := k.Gen(301, 7)
+			remote := k.Gen(301, 7)
+			k.Run(local, parOptions())
+			if err := cl.Call("tenant-e2e", k, remote); err != nil {
+				t.Fatalf("wire call: %v", err)
+			}
+			if err := k.Check(remote, local); err != nil {
+				t.Fatalf("wire result differs from local: %v", err)
+			}
+		})
+	}
+}
+
+// TestWireCallDelta pins the incremental path over the socket: the
+// response to a delta request carries the grown, merged output.
+func TestWireCallDelta(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	_, cl := newWire(t, s, Config{})
+
+	k := kernel.MustLookup("sort")
+	a := k.Gen(128, 3)
+	if err := cl.Call("t", k, a); err != nil {
+		t.Fatalf("initial sort: %v", err)
+	}
+	want := append([]int64(nil), a.Xs...)
+	want = append(want, -7, 1000, 5)
+	local := &kernel.Args{Xs: append([]int64(nil), a.Xs...)}
+	if err := k.RunDelta(local, &kernel.Delta{Append: []int64{-7, 1000, 5}}, parOptions()); err != nil {
+		t.Fatalf("local delta: %v", err)
+	}
+	if err := cl.CallDelta("t", k, a, &kernel.Delta{Append: []int64{-7, 1000, 5}}); err != nil {
+		t.Fatalf("wire delta: %v", err)
+	}
+	if len(a.Xs) != len(local.Xs) {
+		t.Fatalf("delta reply len %d, want %d", len(a.Xs), len(local.Xs))
+	}
+	for i := range a.Xs {
+		if a.Xs[i] != local.Xs[i] {
+			t.Fatalf("Xs[%d] = %d, want %d", i, a.Xs[i], local.Xs[i])
+		}
+	}
+}
+
+// TestWireStreamedByteIdentical pins the chunked response path: the
+// same request served by a streaming listener and a one-shot listener
+// must decode to identical results, and the streaming listener must
+// actually have streamed.
+func TestWireStreamedByteIdentical(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	oneShot, clOne := newWire(t, s, Config{})
+	streaming, clStream := newWire(t, s, Config{StreamCutoff: 1024, StreamChunk: 4096})
+
+	k := kernel.MustLookup("sort")
+	a1 := k.Gen(50_000, 21)
+	a2 := k.Gen(50_000, 21)
+	if err := clOne.Call("t", k, a1); err != nil {
+		t.Fatalf("one-shot: %v", err)
+	}
+	if err := clStream.Call("t", k, a2); err != nil {
+		t.Fatalf("streamed: %v", err)
+	}
+	if len(a1.Xs) != len(a2.Xs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1.Xs), len(a2.Xs))
+	}
+	for i := range a1.Xs {
+		if a1.Xs[i] != a2.Xs[i] {
+			t.Fatalf("Xs[%d]: one-shot %d, streamed %d", i, a1.Xs[i], a2.Xs[i])
+		}
+	}
+	if st := streaming.Stats(); st.Chunks == 0 {
+		t.Fatalf("streaming listener sent no chunks: %+v", st)
+	}
+	if st := oneShot.Stats(); st.Chunks != 0 {
+		t.Fatalf("one-shot listener sent chunks: %+v", st)
+	}
+}
+
+// TestWireDeadlineDoorRefusal pins the door rung end-to-end: warm the
+// service-time EWMA with real traffic, then a wire-stamped budget too
+// small for even one predicted service time is refused at the door —
+// the client sees serve.ErrDeadlineExceeded through errors.Is, and
+// the server counts a door refusal, not a queue expiry.
+func TestWireDeadlineDoorRefusal(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	_, cl := newWire(t, s, Config{})
+
+	k := kernel.MustLookup("sort")
+	for i := 0; i < 5; i++ {
+		a := k.Gen(4096, uint64(i))
+		if err := cl.Call("t", k, a); err != nil {
+			t.Fatalf("warm call %d: %v", i, err)
+		}
+	}
+	a := k.Gen(4096, 99)
+	err := cl.CallBudget("t", k, a, time.Nanosecond)
+	if !errors.Is(err, serve.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	st := s.Stats()
+	if st.DeadlineRejected != 1 {
+		t.Fatalf("DeadlineRejected = %d, want 1 (stats %+v)", st.DeadlineRejected, st)
+	}
+	if st.Expired != 0 {
+		t.Fatalf("Expired = %d, want 0 — refusal must happen at the door", st.Expired)
+	}
+}
+
+// TestWireBudgetlessInheritsSLO is the regression pin that frames
+// without a budget inherit Config.SLO: under a 1ns server SLO a
+// budget-less request expires, while the same request carrying its
+// own generous wire budget overrides the SLO and completes.
+func TestWireBudgetlessInheritsSLO(t *testing.T) {
+	s := serve.New(serve.Config{SLO: time.Nanosecond})
+	defer s.Close()
+	_, cl := newWire(t, s, Config{})
+
+	k := kernel.MustLookup("sort")
+	a := k.Gen(64, 1)
+	if err := cl.CallBudget("t", k, a, time.Minute); err != nil {
+		t.Fatalf("budgeted call must override the 1ns SLO: %v", err)
+	}
+	err := cl.Call("t", k, k.Gen(64, 2))
+	if !errors.Is(err, serve.ErrDeadlineExceeded) {
+		t.Fatalf("budget-less err = %v, want ErrDeadlineExceeded (inherited SLO)", err)
+	}
+	if st := s.Stats(); st.Expired == 0 && st.DeadlineRejected == 0 {
+		t.Fatalf("no deadline enforcement recorded: %+v", st)
+	}
+}
+
+// TestWireBudgetExpiresInQueue pins the middle rung over a socket: a
+// budget-stamped request that sits queued behind a parked batch past
+// its budget is dropped at the next batch formation.
+func TestWireBudgetExpiresInQueue(t *testing.T) {
+	open := gateReset()
+	defer open()
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	l, clGate := newWire(t, s, Config{})
+	_, clB := newWire1(t, l)
+
+	done := make(chan error, 1)
+	go func() { done <- clGate.Call("t", gateKernel, &kernel.Args{Xs: []int64{1}}) }()
+	waitFor(t, time.Second, func() bool { return s.Stats().Batches >= 1 })
+
+	k := kernel.MustLookup("sort")
+	errc := make(chan error, 1)
+	go func() { errc <- clB.CallBudget("t", k, k.Gen(64, 5), 2*time.Millisecond) }()
+	waitFor(t, time.Second, func() bool { return s.Stats().Accepted >= 2 })
+	time.Sleep(10 * time.Millisecond) // let the 2ms budget lapse while parked
+	open()
+	if err := <-done; err != nil {
+		t.Fatalf("gate request: %v", err)
+	}
+	err := <-errc
+	if !errors.Is(err, serve.ErrDeadlineExceeded) {
+		t.Fatalf("queued err = %v, want ErrDeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1 (stats %+v)", st.Expired, st)
+	}
+}
+
+// newWire1 dials another client at an existing listener.
+func newWire1(t *testing.T, l *Listener) (*Listener, *Client) {
+	t.Helper()
+	cl, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return l, cl
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// hotTenantFor finds a tenant name homed on shard 0 of g.
+func hotTenantFor(g *serve.Sharded) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("hot-%d", i)
+		if g.HomeShard(name) == 0 {
+			return name
+		}
+	}
+}
+
+// TestWireMigrationCarriesStamps mirrors the serve suite's
+// TestMigrationKeepsDeadlineStamps over real sockets, with organic
+// migration instead of white-box hooks: the home shard's dispatcher
+// is parked inside a gate batch, budget-stamped wire requests pile up
+// on its queue, and the diffusive balancer (hysteresis 1) walks them
+// to the idle sibling — whose batch formation enforces the stamps the
+// home shard admitted. The proof the stamps rode: clients receive
+// ErrDeadlineExceeded while the home dispatcher is still parked, so
+// only a thief shard can have expired them.
+func TestWireMigrationCarriesStamps(t *testing.T) {
+	open := gateReset()
+	defer open()
+	g := serve.NewSharded(serve.ShardedConfig{
+		Shards:            2,
+		ShardProcs:        1,
+		MigrateHysteresis: 1,
+	})
+	defer g.Close()
+	l, err := Listen("tcp", "127.0.0.1:0", g, Config{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	tenant := hotTenantFor(g)
+
+	clGate, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer clGate.Close()
+	done := make(chan error, 1)
+	go func() { done <- clGate.Call(tenant, gateKernel, &kernel.Args{Xs: []int64{1}}) }()
+	waitFor(t, time.Second, func() bool { return g.Stats().PerShard[0].Batches >= 1 })
+
+	// Six concurrent budget-stamped victims: admitted cold (EWMA
+	// unwarmed) with 1ns stamps, queued behind the parked batch. The
+	// submit piggyback sees the deepening queue and pushes victims to
+	// shard 1.
+	const victims = 6
+	k := kernel.MustLookup("sort")
+	errc := make(chan error, victims)
+	for i := 0; i < victims; i++ {
+		go func(i int) {
+			cl, err := Dial("tcp", l.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer cl.Close()
+			errc <- cl.CallBudget(tenant, k, k.Gen(64, uint64(i)), time.Nanosecond)
+		}(i)
+	}
+	// At least one victim must be expired by the thief while the home
+	// dispatcher is still parked.
+	select {
+	case err := <-errc:
+		if !errors.Is(err, serve.ErrDeadlineExceeded) {
+			t.Fatalf("victim err = %v, want ErrDeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no victim expired while home shard parked; stats %+v", g.Stats())
+	}
+	st := g.Stats()
+	if st.Migrated == 0 {
+		t.Fatalf("no requests migrated; stats %+v", st)
+	}
+	open()
+	if err := <-done; err != nil {
+		t.Fatalf("gate request: %v", err)
+	}
+	for i := 1; i < victims; i++ {
+		if err := <-errc; err != nil && !errors.Is(err, serve.ErrDeadlineExceeded) {
+			t.Fatalf("victim err = %v", err)
+		}
+	}
+	// Expiries are charged to the admitting tenant entry wherever
+	// they happened, so the merged accounting still balances.
+	st = g.Stats()
+	if st.Aggregate.Accepted != st.Aggregate.Completed+st.Aggregate.Expired {
+		t.Fatalf("accounting: accepted %d != completed %d + expired %d",
+			st.Aggregate.Accepted, st.Aggregate.Completed, st.Aggregate.Expired)
+	}
+}
+
+// TestWireRaceSuite is the socket-level race exercise: concurrent
+// clients with mixed kernels, budgets and deltas against a 4-shard
+// listener. Run under -race in CI. At drain, client-side outcomes and
+// server-side accounting must balance exactly.
+func TestWireRaceSuite(t *testing.T) {
+	g := serve.NewSharded(serve.ShardedConfig{Shards: 4})
+	defer g.Close()
+	l, err := Listen("tcp", "127.0.0.1:0", g, Config{StreamCutoff: 32 << 10})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	const clients = 8
+	const perClient = 40
+	var ok, deadline, rejected atomic64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Errorf("client %d dial: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			tenant := fmt.Sprintf("tenant-%d", c%3)
+			names := []string{"sort", "sum", "histogram", "scan"}
+			record := func(i int, err error) {
+				switch {
+				case err == nil:
+					ok.add(1)
+				case errors.Is(err, serve.ErrDeadlineExceeded):
+					deadline.add(1)
+				case errors.Is(err, serve.ErrRejected):
+					rejected.add(1)
+				default:
+					t.Errorf("client %d req %d: %v", c, i, err)
+				}
+			}
+			for i := 0; i < perClient; i++ {
+				k := kernel.MustLookup(names[(c+i)%len(names)])
+				a := k.Gen(512+64*(i%7), uint64(c*1000+i))
+				switch {
+				case i%11 == 5:
+					record(i, cl.CallBudget(tenant, k, a, time.Nanosecond))
+				case i%13 == 7 && k.Name == "sort":
+					// Two wire requests, two outcomes.
+					err := cl.Call(tenant, k, a)
+					record(i, err)
+					if err == nil {
+						record(i, cl.CallDelta(tenant, k, a, &kernel.Delta{Append: []int64{int64(i), -int64(i)}}))
+					}
+				default:
+					record(i, cl.Call(tenant, k, a))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.Aggregate.Accepted != st.Aggregate.Completed+st.Aggregate.Expired {
+		t.Fatalf("accounting: accepted %d != completed %d + expired %d",
+			st.Aggregate.Accepted, st.Aggregate.Completed, st.Aggregate.Expired)
+	}
+	refusals := st.Aggregate.Rejected + st.Aggregate.DeadlineRejected + st.Aggregate.Expired
+	if got := deadline.load() + rejected.load(); got != refusals {
+		t.Fatalf("client-side failures %d != server-side refusals %d (stats %+v)", got, refusals, st.Aggregate)
+	}
+	ls := l.Stats()
+	if ls.InFlight != 0 {
+		t.Fatalf("in-flight gauge %d after drain", ls.InFlight)
+	}
+	if ls.Requests != int64(ok.load())+int64(deadline.load())+int64(rejected.load()) {
+		t.Fatalf("listener requests %d != client outcomes %d", ls.Requests, ok.load()+deadline.load()+rejected.load())
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+// TestWireAbruptDisconnect pins the leak contract: a client that dies
+// mid-stream leaks neither goroutines nor scratch bytes — the reader
+// notices the dead socket, returns its slabs, and the gauges settle
+// back to their baselines.
+func TestWireAbruptDisconnect(t *testing.T) {
+	pool := scratch.New()
+	s := serve.New(serve.Config{Scratch: pool})
+	defer s.Close()
+	l, err := Listen("tcp", "127.0.0.1:0", s, Config{Scratch: pool, StreamCutoff: 8 << 10, StreamChunk: 4 << 10})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	// One clean request first so the serving path's lazy structures
+	// (pools, EWMA, tenant entries) exist before the baseline.
+	cl, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	k := kernel.MustLookup("sort")
+	if err := cl.Call("t", k, k.Gen(65_536, 1)); err != nil {
+		t.Fatalf("priming call: %v", err)
+	}
+	cl.Close()
+	waitFor(t, time.Second, func() bool { return l.Stats().ActiveConns == 0 })
+	baselineGo := runtime.NumGoroutine()
+	baselineBytes := pool.Stats().BytesLive
+
+	for round := 0; round < 4; round++ {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatalf("raw dial: %v", err)
+		}
+		frame, err := AppendRequest(nil, 1, "t", k, k.Gen(65_536, uint64(round)), nil, 0)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := c.Write(frame); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// Read one chunk frame of the streamed reply, then vanish.
+		var lenb [4]byte
+		if _, err := io.ReadFull(c, lenb[:]); err != nil {
+			t.Fatalf("read prefix: %v", err)
+		}
+		n := int(nativeOrder.Uint32(lenb[:]))
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		c.Close()
+	}
+	waitFor(t, 2*time.Second, func() bool { return l.Stats().ActiveConns == 0 })
+	waitFor(t, 2*time.Second, func() bool { return pool.Stats().BytesLive <= baselineBytes })
+	// Goroutine counts need settling time for netpoller bookkeeping.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baselineGo && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baselineGo {
+		t.Fatalf("goroutines %d > baseline %d after disconnects", got, baselineGo)
+	}
+}
+
+// TestWireCloseDrains pins Close semantics: a request in flight when
+// Close is called still completes and its response still arrives;
+// afterwards the port stops accepting.
+func TestWireCloseDrains(t *testing.T) {
+	open := gateReset()
+	defer open()
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	l, err := Listen("tcp", "127.0.0.1:0", s, Config{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	cl, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	addr := l.Addr().String()
+
+	done := make(chan error, 1)
+	go func() { done <- cl.Call("t", gateKernel, &kernel.Args{Xs: []int64{1}}) }()
+	waitFor(t, time.Second, func() bool { return s.Stats().Batches >= 1 })
+
+	closed := make(chan struct{})
+	go func() { l.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatalf("Close returned while a request was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	open()
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed across Close: %v", err)
+	}
+	<-closed
+	if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatalf("listener still accepting after Close")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/perf"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/scratch"
 	"repro/internal/seq"
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 // Re-exported types. Aliases keep the facade zero-cost: values flow to
@@ -142,6 +144,33 @@ type (
 	// ResultCacheStats is a snapshot of a result cache's occupancy
 	// and hit/miss/eviction/invalidation counters.
 	ResultCacheStats = rescache.Stats
+	// WireListener is the network front door: it serves the binary
+	// wire protocol over TCP or Unix sockets onto a Server or
+	// ShardedServer, decoding request payloads in place into
+	// connection-owned scratch slabs (zero-copy read path), streaming
+	// large responses as chunk frames, and stamping each frame's
+	// optional deadline budget into the admission ladder. Build one
+	// with NewListener.
+	WireListener = wire.Listener
+	// WireListenerConfig shapes a WireListener (frame size bound,
+	// streaming cutoff and chunk size, scratch pool).
+	WireListenerConfig = wire.Config
+	// WireListenerStats is a snapshot of a listener's connection,
+	// request and response counters.
+	WireListenerStats = wire.Stats
+	// WireClient is the matching client: one connection, synchronous
+	// framed round trips, with the same typed Call/CallBudget surface
+	// the in-process servers expose. Build one with DialClient.
+	WireClient = wire.Client
+	// WireBackend is the call surface a WireListener serves onto —
+	// satisfied by both *Server and *ShardedServer.
+	WireBackend = wire.Backend
+	// Kernel is one entry of the typed kernel registry — the unit a
+	// WireClient names in a call. Look builtins up with LookupKernel.
+	Kernel = kernel.Kernel
+	// KernelArgs is a kernel's argument record: inputs, outputs and
+	// scalars in one struct, the payload a wire frame carries.
+	KernelArgs = kernel.Args
 )
 
 // Admission-control errors returned by Server request methods.
@@ -282,6 +311,47 @@ func NewResultCache(cfg ResultCacheConfig) *ResultCache { return rescache.New(cf
 // the affinity and migration semantics, and `parbench -serve -shards
 // N` for a skewed-traffic demo.
 func NewShardedServer(cfg ShardedServerConfig) *ShardedServer { return serve.NewSharded(cfg) }
+
+// NewListener starts a wire-protocol front door on network/addr
+// ("tcp", "127.0.0.1:7070" or "unix", "/tmp/parserve.sock") serving
+// backend — a *Server or *ShardedServer. Close it to drain in-flight
+// requests and shut the socket:
+//
+//	srv := repro.NewShardedServer(repro.ShardedServerConfig{})
+//	defer srv.Close()
+//	l, err := repro.NewListener("tcp", "127.0.0.1:0", srv, repro.WireListenerConfig{})
+//	if err != nil { ... }
+//	defer l.Close()
+//
+// The zero WireListenerConfig bounds frames at 64 MiB, streams
+// responses past 1 MiB as 64 KiB chunks, and draws connection buffers
+// from the process-wide scratch pool. See internal/wire for the frame
+// format and `cmd/parserve` for a standalone server binary.
+func NewListener(network, addr string, backend WireBackend, cfg WireListenerConfig) (*WireListener, error) {
+	return wire.Listen(network, addr, backend, cfg)
+}
+
+// DialClient connects a wire-protocol client to a NewListener (or
+// parserve) front door. A client is one connection with synchronous
+// round trips — open one per concurrent request stream:
+//
+//	cl, err := repro.DialClient("tcp", l.Addr().String())
+//	if err != nil { ... }
+//	defer cl.Close()
+//	a := repro.KernelArgs{Xs: xs}
+//	err = cl.CallBudget("tenant-a", repro.LookupKernel("sort"), &a, 5*time.Millisecond)
+//
+// CallBudget's budget rides the frame as deadline metadata: the
+// server's admission door refuses the request when the predicted
+// queue wait would blow it, exactly as for an in-process caller.
+func DialClient(network, addr string) (*WireClient, error) {
+	return wire.Dial(network, addr)
+}
+
+// LookupKernel returns the registered kernel named name (nil when
+// unknown). The builtins are "sort", "select", "histogram", "scan",
+// "sum", "bfs", "gups", "topk" and "cc".
+func LookupKernel(name string) *Kernel { return kernel.Lookup(name) }
 
 // For executes body(i) for i in [0, n) in parallel.
 func For(n int, opts Options, body func(i int)) { par.For(n, opts, body) }

@@ -19,6 +19,10 @@
 #                              endpoint served cold / warm-hit / via
 #                              delta append; warm must hold 0 allocs-
 #                              per-op and hits-frac 1.0)
+#   BENCH_wire.json            the wire front-door suite (open-loop
+#                              traffic in-process vs loopback socket vs
+#                              chunk-streamed, plus the codec round trip
+#                              which must hold 0 allocs-per-op)
 #
 # Run from anywhere.
 #
@@ -26,6 +30,7 @@
 #   BENCH_OPENLOOP_OUT=path  open-loop output file (default BENCH_serve_openloop.json)
 #   BENCH_KERNELS_OUT=path   kernel output file (default BENCH_kernels.json)
 #   BENCH_CACHE_OUT=path     result-cache output file (default BENCH_serve_cache.json)
+#   BENCH_WIRE_OUT=path      wire output file (default BENCH_wire.json)
 #   BENCHTIME=spec           go -benchtime value (default 1000x; CI uses 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +39,7 @@ serve_out="${BENCH_OUT:-BENCH_serve.json}"
 openloop_out="${BENCH_OPENLOOP_OUT:-BENCH_serve_openloop.json}"
 kernels_out="${BENCH_KERNELS_OUT:-BENCH_kernels.json}"
 cache_out="${BENCH_CACHE_OUT:-BENCH_serve_cache.json}"
+wire_out="${BENCH_WIRE_OUT:-BENCH_wire.json}"
 benchtime="${BENCHTIME:-1000x}"
 
 # bench_to_json: parse `go test -bench` benchmem output on stdin into a
@@ -78,3 +84,4 @@ run_suite 'BenchmarkTrafficServe(Skew)?$' ./internal/serve "$serve_out"
 run_suite 'BenchmarkTrafficServeOpenLoop$' ./internal/serve "$openloop_out"
 run_suite 'BenchmarkSort(Narrow16|Wide64)' ./internal/kernel "$kernels_out"
 run_suite 'BenchmarkTrafficServeCache$' ./internal/serve "$cache_out"
+run_suite 'BenchmarkTrafficServeWire$' ./internal/wire "$wire_out"
